@@ -1,0 +1,112 @@
+// Sections I and IV quantified: the fragment index versus the "intuitive
+// approach" of materializing and indexing every db-page.
+//
+// Reports, for fooddb and TPC-H tiny/small (Q2):
+//   pages vs fragments        combinatorial page blow-up
+//   index bytes               storage overhead of overlapped content
+//   build seconds             collection+indexing cost
+//   top-10 redundancy         content-covered pages in the result list
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baseline/page_engine.h"
+#include "testing/fooddb.h"
+#include "util/stopwatch.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace dash;
+
+struct Scenario {
+  std::string name;
+  const db::Database* db;
+  webapp::WebAppInfo app;
+  std::string probe_keyword;
+};
+
+std::vector<Scenario>& Scenarios() {
+  static std::vector<Scenario> scenarios = [] {
+    static db::Database fooddb = dash::testing::MakeFoodDb();
+    std::vector<Scenario> out;
+    out.push_back({"fooddb", &fooddb, dash::testing::MakeSearchApp(),
+                   "burger"});
+    out.push_back({"tpch_tiny_q2", &bench::Dataset(tpch::Scale::kTiny),
+                   bench::MakeApp(2), ""});
+    out.push_back({"tpch_small_q2", &bench::Dataset(tpch::Scale::kSmall),
+                   bench::MakeApp(2), ""});
+    return out;
+  }();
+  return scenarios;
+}
+
+void PrintComparison() {
+  std::printf(
+      "Fragments (Dash) vs whole pages (intuitive approach), Section IV\n"
+      "%-15s %12s %12s %14s %14s %12s %12s %12s\n",
+      "scenario", "#fragments", "#pages", "frag_idx_B", "page_idx_B",
+      "frag_bld_s", "page_bld_s", "redund@10");
+  for (Scenario& s : Scenarios()) {
+    util::Stopwatch watch;
+    core::Crawler crawler(*s.db, s.app.query);
+    core::FragmentIndexBuild build = crawler.BuildIndex();
+    double frag_build = watch.ElapsedSeconds();
+
+    baseline::PageEngine pages(*s.db, s.app);
+
+    std::string keyword = s.probe_keyword;
+    if (keyword.empty()) {
+      // A cold keyword: it lives in few fragments, so the top-10 pages are
+      // nested intervals around them — the paper's P1-covered-by-P2 case.
+      keyword = build.index.KeywordsByDf().back().first;
+    }
+    auto results = pages.Search({keyword}, 10);
+    std::printf("%-15s %12zu %12zu %14zu %14zu %12.3f %12.3f %11.0f%%\n",
+                s.name.c_str(), build.catalog.size(), pages.page_count(),
+                build.index.SizeBytes() + build.catalog.SizeBytes(),
+                pages.IndexSizeBytes(), frag_build, pages.build_seconds(),
+                100.0 * baseline::PageEngine::RedundantFraction(results));
+  }
+  std::printf("\n");
+}
+
+void BM_FragmentIndexBuild(benchmark::State& state) {
+  Scenario& s = Scenarios()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    core::Crawler crawler(*s.db, s.app.query);
+    core::FragmentIndexBuild build = crawler.BuildIndex();
+    benchmark::DoNotOptimize(build.catalog.size());
+  }
+}
+
+void BM_PageEngineBuild(benchmark::State& state) {
+  Scenario& s = Scenarios()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    baseline::PageEngine pages(*s.db, s.app);
+    benchmark::DoNotOptimize(pages.page_count());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintComparison();
+  for (std::size_t i = 0; i < Scenarios().size(); ++i) {
+    const std::string& scen = Scenarios()[i].name;
+    benchmark::RegisterBenchmark(
+        ("baseline_compare/fragments/" + scen).c_str(),
+        [](benchmark::State& state) { BM_FragmentIndexBuild(state); })
+        ->Arg(static_cast<long>(i))
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("baseline_compare/whole_pages/" + scen).c_str(),
+        [](benchmark::State& state) { BM_PageEngineBuild(state); })
+        ->Arg(static_cast<long>(i))
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table IV: fragment graph building performance — build time, number of
+// db-page fragments, average keywords per fragment — for Q1/Q2/Q3 on the
+// medium dataset.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/fragment_graph.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace dash;
+
+void BM_FragmentGraphBuild(benchmark::State& state) {
+  const int query = static_cast<int>(state.range(0));
+  const core::DashEngine& engine =
+      bench::Engine(query, tpch::Scale::kMedium);
+  const core::FragmentCatalog& catalog = engine.catalog();
+  std::size_t num_eq = 0;
+  for (const auto& a : engine.selection()) {
+    if (!a.is_range) ++num_eq;
+  }
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    core::FragmentGraph graph = core::FragmentGraph::Build(
+        catalog, num_eq, engine.selection().size() - num_eq);
+    edges = graph.edge_count();
+    benchmark::DoNotOptimize(edges);
+  }
+  state.counters["fragments"] = static_cast<double>(catalog.size());
+  state.counters["avg_keywords"] = catalog.AverageKeywords();
+  state.counters["edges"] = static_cast<double>(edges);
+}
+
+void PrintTableIV() {
+  std::printf(
+      "Table IV — fragment graph building (medium dataset)\n"
+      "%-4s %14s %18s %16s\n",
+      "", "build time", "#fragments", "avg #keywords");
+  for (int q : {1, 2, 3}) {
+    const core::DashEngine& engine = bench::Engine(q, tpch::Scale::kMedium);
+    std::printf("Q%-3d %12.3f s %18zu %16.1f\n", q,
+                engine.graph().stats().build_seconds, engine.catalog().size(),
+                engine.catalog().AverageKeywords());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTableIV();
+  for (int q : {1, 2, 3}) {
+    std::string name = "fragment_graph_build/Q" + std::to_string(q);
+    benchmark::RegisterBenchmark(name.c_str(), [](benchmark::State& state) {
+      BM_FragmentGraphBuild(state);
+    })->Arg(q)->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

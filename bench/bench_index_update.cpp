@@ -1,0 +1,77 @@
+// Extension bench (paper Section VIII item 1): incremental fragment-index
+// maintenance versus rebuilding from scratch. The paper: "It should be
+// very costly to rebuild the entire fragment index. Some efficient update
+// mechanisms ... are desirable."
+//
+// Measures the per-update cost of UpdatableIndex (insert a lineitem,
+// recompute only affected fragments) against a full recrawl, on growing
+// datasets. The counter `frags_touched` shows why it wins: an update
+// recomputes ~1 fragment out of tens of thousands.
+#include <benchmark/benchmark.h>
+
+#include "core/index_update.h"
+#include "util/random.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace dash;
+
+void BM_IncrementalInsert(benchmark::State& state) {
+  const auto scale = static_cast<tpch::Scale>(state.range(0));
+  core::UpdatableIndex updatable(tpch::Generate(scale),
+                                 sql::Parse(bench::kQ2Sql));
+  const db::Table& orders = updatable.database().table("orders");
+  util::SplitMix64 rng(1);
+  std::int64_t next_lid = 10'000'000;
+  std::size_t before = updatable.fragments_recomputed();
+  std::size_t updates = 0;
+  for (auto _ : state) {
+    const db::Row& order = orders.rows()[rng.Below(orders.row_count())];
+    updatable.Insert("lineitem",
+                     {db::Value(next_lid++), order[0],
+                      db::Value(rng.Range(0, 29)), db::Value(rng.Range(1, 50)),
+                      db::Value(42.0), db::Value(0.01),
+                      db::Value("1996-06-06"),
+                      db::Value("furiously incremental deposits")});
+    ++updates;
+  }
+  state.counters["frags_touched_per_update"] =
+      static_cast<double>(updatable.fragments_recomputed() - before) /
+      static_cast<double>(updates);
+  state.counters["total_fragments"] =
+      static_cast<double>(updatable.fragment_count());
+}
+
+void BM_FullRebuild(benchmark::State& state) {
+  const auto scale = static_cast<tpch::Scale>(state.range(0));
+  const db::Database& db = bench::Dataset(scale);
+  sql::PsjQuery query = sql::Parse(bench::kQ2Sql);
+  for (auto _ : state) {
+    core::Crawler crawler(db, query);
+    core::FragmentIndexBuild build = crawler.BuildIndex();
+    benchmark::DoNotOptimize(build.catalog.size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (tpch::Scale scale : {tpch::Scale::kTiny, tpch::Scale::kSmall}) {
+    std::string suffix = std::string(tpch::ScaleName(scale));
+    benchmark::RegisterBenchmark(
+        ("index_update/incremental_insert/" + suffix).c_str(),
+        [](benchmark::State& state) { BM_IncrementalInsert(state); })
+        ->Arg(static_cast<long>(scale))
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("index_update/full_rebuild/" + suffix).c_str(),
+        [](benchmark::State& state) { BM_FullRebuild(state); })
+        ->Arg(static_cast<long>(scale))
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation for the crawl-scope / efficiency tradeoff (paper Section VIII,
+// item 3, implemented in core/pruning.h): sweeping the minimum-keywords
+// threshold charts how much index storage is saved against how much
+// searchable vocabulary is given up, plus the pruning pass's own cost.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/crawler.h"
+#include "core/pruning.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace dash;
+
+const std::uint64_t kThresholds[] = {0, 25, 50, 100, 200, 400};
+
+const core::FragmentIndexBuild& BaseBuild() {
+  static const core::FragmentIndexBuild build = [] {
+    core::Crawler crawler(bench::Dataset(tpch::Scale::kMedium),
+                          sql::Parse(bench::kQ2Sql));
+    return crawler.BuildIndex();
+  }();
+  return build;
+}
+
+void PrintTradeoff() {
+  std::printf(
+      "Crawl-scope tradeoff (Q2, medium): prune fragments under N keywords\n"
+      "%-10s %12s %12s %14s %12s\n",
+      "minimum", "#fragments", "dropped", "index bytes", "kw recall");
+  for (std::uint64_t threshold : kThresholds) {
+    core::PruneStats stats;
+    core::PruneFragments(BaseBuild(), threshold, &stats);
+    std::printf("%-10llu %12zu %12zu %14zu %11.1f%%\n",
+                static_cast<unsigned long long>(threshold),
+                stats.kept_fragments, stats.dropped_fragments,
+                stats.index_bytes_after, 100.0 * stats.KeywordRecall());
+  }
+  std::printf("\n");
+}
+
+void BM_Prune(benchmark::State& state) {
+  const auto threshold = static_cast<std::uint64_t>(state.range(0));
+  core::PruneStats stats;
+  for (auto _ : state) {
+    core::FragmentIndexBuild pruned =
+        core::PruneFragments(BaseBuild(), threshold, &stats);
+    benchmark::DoNotOptimize(pruned.catalog.size());
+  }
+  state.counters["kept"] = static_cast<double>(stats.kept_fragments);
+  state.counters["recall"] = stats.KeywordRecall();
+  state.counters["index_MB"] =
+      static_cast<double>(stats.index_bytes_after) / (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTradeoff();
+  for (std::uint64_t threshold : kThresholds) {
+    std::string name = "prune/min" + std::to_string(threshold);
+    benchmark::RegisterBenchmark(
+        name.c_str(), [](benchmark::State& state) { BM_Prune(state); })
+        ->Arg(static_cast<long>(threshold))
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

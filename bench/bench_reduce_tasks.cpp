@@ -1,0 +1,56 @@
+// Section VII-A side experiment: the impact of the number of reduce tasks
+// on crawl/index time with a fixed cluster size. The paper reports only a
+// 3-8% difference because the jobs are map/I-O bound — the same flat shape
+// should appear here.
+#include <benchmark/benchmark.h>
+
+#include "core/mr_crawl.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace dash;
+
+void BM_ReduceTasks(benchmark::State& state) {
+  const int reduce_tasks = static_cast<int>(state.range(0));
+  const bool integrated = state.range(1) != 0;
+  const db::Database& db = bench::Dataset(tpch::Scale::kSmall);
+  sql::PsjQuery psj = sql::Parse(bench::kQ2Sql);
+
+  core::CrawlOptions options;
+  options.num_reduce_tasks = reduce_tasks;
+  double wall = 0, shuffle = 0;
+  for (auto _ : state) {
+    mr::Cluster cluster;
+    core::CrawlResult result =
+        integrated ? core::IntegratedCrawl(cluster, db, psj, options)
+                   : core::StepwiseCrawl(cluster, db, psj, options);
+    wall += result.TotalWallSec();
+    shuffle += static_cast<double>(cluster.Totals().map_output_bytes);
+    benchmark::DoNotOptimize(result.build.catalog.size());
+  }
+  const double n = static_cast<double>(state.iterations());
+  state.counters["wall_s"] = wall / n;
+  state.counters["shuffle_MB"] = shuffle / n / (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (bool integrated : {false, true}) {
+    for (int reduce_tasks : {1, 2, 4, 8}) {
+      std::string name = std::string("reduce_tasks/") +
+                         (integrated ? "INT" : "SW") + "/r" +
+                         std::to_string(reduce_tasks);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [](benchmark::State& state) { BM_ReduceTasks(state); })
+          ->Args({reduce_tasks, integrated ? 1 : 0})
+          ->Unit(benchmark::kSecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

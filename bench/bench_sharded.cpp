@@ -1,0 +1,118 @@
+// Serving-scalability bench: top-k search latency against shard count, and
+// the result-cache hit path. Not a paper figure — it characterizes the
+// serving-side extensions (sharded_engine.h, result_cache.h).
+#include <benchmark/benchmark.h>
+
+#include "core/crawler.h"
+#include "core/result_cache.h"
+#include "core/sharded_engine.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace dash;
+
+const core::ShardedEngine& Sharded(int shards) {
+  static std::map<int, std::unique_ptr<core::ShardedEngine>> cache;
+  auto it = cache.find(shards);
+  if (it == cache.end()) {
+    core::Crawler crawler(bench::Dataset(tpch::Scale::kMedium),
+                          sql::Parse(bench::kQ2Sql));
+    it = cache
+             .emplace(shards, std::make_unique<core::ShardedEngine>(
+                                  bench::MakeApp(2), crawler.BuildIndex(),
+                                  shards))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_ShardedSearch(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const core::ShardedEngine& engine = Sharded(shards);
+  const auto keywords = bench::PickKeywords(
+      bench::Engine(2, tpch::Scale::kMedium).index(),
+      bench::Temperature::kWarm);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto results = engine.Search({keywords[i % keywords.size()]}, 10, 200);
+    benchmark::DoNotOptimize(results);
+    ++i;
+  }
+}
+
+void BM_CachedSearch(benchmark::State& state) {
+  const core::DashEngine& engine = bench::Engine(2, tpch::Scale::kMedium);
+  core::CachingEngine caching(engine, 1024);
+  const auto keywords = bench::PickKeywords(engine.index(),
+                                            bench::Temperature::kHot);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto results = caching.Search({keywords[i % keywords.size()]}, 10, 200);
+    benchmark::DoNotOptimize(results);
+    ++i;
+  }
+  state.counters["hit_rate"] = caching.cache().stats().HitRate();
+}
+
+void BM_UncachedHotSearch(benchmark::State& state) {
+  const core::DashEngine& engine = bench::Engine(2, tpch::Scale::kMedium);
+  const auto keywords = bench::PickKeywords(engine.index(),
+                                            bench::Temperature::kHot);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto results = engine.Search({keywords[i % keywords.size()]}, 10, 200);
+    benchmark::DoNotOptimize(results);
+    ++i;
+  }
+}
+
+// Seed-cap ablation: hot-keyword latency against the search-scope cap.
+void BM_SeedCap(benchmark::State& state) {
+  const auto max_seeds = static_cast<std::size_t>(state.range(0));
+  const core::DashEngine& engine = bench::Engine(2, tpch::Scale::kMedium);
+  const auto keywords = bench::PickKeywords(engine.index(),
+                                            bench::Temperature::kHot);
+  std::size_t i = 0, results_total = 0;
+  for (auto _ : state) {
+    auto results =
+        engine.Search({keywords[i % keywords.size()]}, 10, 200, max_seeds);
+    results_total += results.size();
+    benchmark::DoNotOptimize(results);
+    ++i;
+  }
+  state.counters["avg_results"] =
+      static_cast<double>(results_total) /
+      static_cast<double>(state.iterations());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int shards : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark(
+        ("sharded_search/shards" + std::to_string(shards)).c_str(),
+        [](benchmark::State& state) { BM_ShardedSearch(state); })
+        ->Arg(shards)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::RegisterBenchmark("cached_hot_search", [](benchmark::State& s) {
+    BM_CachedSearch(s);
+  })->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("uncached_hot_search",
+                               [](benchmark::State& s) {
+                                 BM_UncachedHotSearch(s);
+                               })
+      ->Unit(benchmark::kMicrosecond);
+  for (long cap : {0L, 100L, 1000L, 10000L}) {
+    benchmark::RegisterBenchmark(
+        ("seed_cap/max" + std::to_string(cap)).c_str(),
+        [](benchmark::State& state) { BM_SeedCap(state); })
+        ->Arg(cap)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

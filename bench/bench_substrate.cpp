@@ -1,0 +1,121 @@
+// Substrate micro-benchmarks: MapReduce wordcount and join throughput,
+// relational hash-join throughput, tokenizer throughput. Not a paper
+// figure — these pin down where the simulated cluster's time goes so the
+// Figure 10 shapes are interpretable.
+#include <benchmark/benchmark.h>
+
+#include "core/mr_common.h"
+#include "db/ops.h"
+#include "mapreduce/cluster.h"
+#include "tpch/tpch.h"
+#include "util/tokenizer.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace dash;
+
+class WordCountMapper : public mr::Mapper {
+ public:
+  void Map(const mr::Record& record, mr::Emitter& out) override {
+    for (const std::string& w : util::Tokenize(record.value)) {
+      out.Emit(w, "1");
+    }
+  }
+};
+
+class SumReducer : public mr::Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mr::Emitter& out) override {
+    std::uint64_t total = 0;
+    for (const std::string& v : values) total += std::stoull(v);
+    out.Emit(key, std::to_string(total));
+  }
+};
+
+void BM_MrWordCount(benchmark::State& state) {
+  const db::Database& db = bench::Dataset(tpch::Scale::kSmall);
+  core::MrTable input = core::ExportTable(db.table("lineitem"));
+  for (auto _ : state) {
+    mr::Cluster cluster;
+    mr::JobConfig job;
+    auto out = cluster.Run(
+        job, input.data, [] { return std::make_unique<WordCountMapper>(); },
+        [] { return std::make_unique<SumReducer>(); },
+        [] { return std::make_unique<SumReducer>(); });
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(input.data.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(mr::DatasetBytes(input.data)));
+}
+
+void BM_MrJoin(benchmark::State& state) {
+  const db::Database& db = bench::Dataset(tpch::Scale::kSmall);
+  core::MrTable orders = core::ExportTable(db.table("orders"));
+  core::MrTable lineitem = core::ExportTable(db.table("lineitem"));
+  for (auto _ : state) {
+    mr::Cluster cluster;
+    core::MrTable joined =
+        core::MrJoin(cluster, "join", orders, lineitem, "orders.oid",
+                     "lineitem.oid", sql::JoinKind::kInner, 4);
+    benchmark::DoNotOptimize(joined.data.size());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(orders.data.size() + lineitem.data.size()));
+}
+
+void BM_HashJoin(benchmark::State& state) {
+  const db::Database& db = bench::Dataset(tpch::Scale::kSmall);
+  const db::Table& orders = db.table("orders");
+  const db::Table& lineitem = db.table("lineitem");
+  for (auto _ : state) {
+    db::Table joined = db::HashJoin(orders, lineitem, "orders.oid",
+                                    "lineitem.oid", db::JoinType::kInner);
+    benchmark::DoNotOptimize(joined.row_count());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(orders.row_count() + lineitem.row_count()));
+}
+
+void BM_Tokenizer(benchmark::State& state) {
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += "furiously final deposits haggle 4.3 01/11 Bond's theodolites ";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Tokenize(text));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+}
+
+void BM_ClusterNodes(benchmark::State& state) {
+  // Thread scaling of the simulated cluster (bounded by real cores).
+  const db::Database& db = bench::Dataset(tpch::Scale::kSmall);
+  core::MrTable input = core::ExportTable(db.table("lineitem"));
+  mr::ClusterConfig config;
+  config.num_nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mr::Cluster cluster(config);
+    mr::JobConfig job;
+    auto out = cluster.Run(
+        job, input.data, [] { return std::make_unique<WordCountMapper>(); },
+        [] { return std::make_unique<SumReducer>(); });
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+
+BENCHMARK(BM_MrWordCount)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MrJoin)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HashJoin)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Tokenizer)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ClusterNodes)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

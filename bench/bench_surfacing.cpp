@@ -1,0 +1,95 @@
+// Section I quantified: "surfacing" (discovering db-pages by invoking the
+// web application with trial query strings, the pre-Dash approach) versus
+// Dash's database crawling.
+//
+// For growing invocation budgets the table reports what surfacing buys —
+// distinct pages found, wasted invocations (empty or duplicate-content
+// pages), and the fraction of the application's atomic content (fragments)
+// covered. Dash's crawl, by construction, covers 100% of the fragments in
+// one database pass; its cost appears in bench_crawl_index.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baseline/surfacing.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace dash;
+
+const std::size_t kBudgets[] = {50, 200, 1000, 5000};
+
+void PrintCoverageTable() {
+  const db::Database& db = bench::Dataset(tpch::Scale::kTiny);
+  webapp::WebAppInfo app = bench::MakeApp(2);
+
+  baseline::SurfacingOptions probe;
+  probe.max_invocations = 1;
+  std::size_t fragments = baseline::SurfaceDbPages(db, app, probe).fragments_total;
+  std::printf(
+      "Surfacing vs database crawling (Q2, tiny: %zu fragments; Dash "
+      "covers 100%% in one crawl)\n"
+      "%-10s %10s %10s %10s %10s %10s\n",
+      fragments, "strategy", "budget", "distinct", "empty", "duplicate",
+      "coverage");
+  for (auto strategy : {baseline::ProbeStrategy::kInformed,
+                        baseline::ProbeStrategy::kBlind}) {
+    for (std::size_t budget : kBudgets) {
+      baseline::SurfacingOptions options;
+      options.strategy = strategy;
+      options.max_invocations = budget;
+      baseline::SurfacingReport r = baseline::SurfaceDbPages(db, app, options);
+      std::printf("%-10s %10zu %10zu %10zu %10zu %9.1f%%\n",
+                  strategy == baseline::ProbeStrategy::kInformed ? "informed"
+                                                                 : "blind",
+                  r.invocations, r.distinct_pages, r.empty_pages,
+                  r.duplicate_pages, 100.0 * r.FragmentCoverage());
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_Surfacing(benchmark::State& state) {
+  const auto strategy = static_cast<baseline::ProbeStrategy>(state.range(0));
+  const auto budget = static_cast<std::size_t>(state.range(1));
+  const db::Database& db = bench::Dataset(tpch::Scale::kTiny);
+  webapp::WebAppInfo app = bench::MakeApp(2);
+
+  baseline::SurfacingReport report;
+  for (auto _ : state) {
+    baseline::SurfacingOptions options;
+    options.strategy = strategy;
+    options.max_invocations = budget;
+    report = baseline::SurfaceDbPages(db, app, options);
+    benchmark::DoNotOptimize(report.distinct_pages);
+  }
+  state.counters["coverage"] = report.FragmentCoverage();
+  state.counters["waste"] = report.WasteFraction();
+  state.counters["invocations"] = static_cast<double>(report.invocations);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintCoverageTable();
+  for (auto strategy : {baseline::ProbeStrategy::kInformed,
+                        baseline::ProbeStrategy::kBlind}) {
+    for (std::size_t budget : kBudgets) {
+      std::string name =
+          std::string("surfacing/") +
+          (strategy == baseline::ProbeStrategy::kInformed ? "informed"
+                                                          : "blind") +
+          "/n" + std::to_string(budget);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [](benchmark::State& state) { BM_Surfacing(state); })
+          ->Args({static_cast<long>(strategy), static_cast<long>(budget)})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 11: top-k search performance on Q2 / medium — elapsed time per
+// search for k in {1,5,10,20}, size threshold s in {100,200,500,1000}, and
+// cold/warm/hot queried keywords (bottom/middle/top 10% by document
+// frequency, 30 keywords each, like the paper's setup).
+//
+// The paper's headline claim is that all searches stay under ~0.3 ms; the
+// run prints a Figure-11-style summary after the sweep.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "util/stopwatch.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace dash;
+
+const int kKs[] = {1, 5, 10, 20};
+const std::uint64_t kSs[] = {100, 200, 500, 1000};
+const bench::Temperature kTemps[] = {bench::Temperature::kCold,
+                                     bench::Temperature::kWarm,
+                                     bench::Temperature::kHot};
+
+const std::vector<std::string>& Keywords(bench::Temperature temp) {
+  static std::map<int, std::vector<std::string>> cache;
+  auto it = cache.find(static_cast<int>(temp));
+  if (it == cache.end()) {
+    const core::DashEngine& engine = bench::Engine(2, tpch::Scale::kMedium);
+    it = cache
+             .emplace(static_cast<int>(temp),
+                      bench::PickKeywords(engine.index(), temp))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_TopKSearch(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const std::uint64_t s = static_cast<std::uint64_t>(state.range(1));
+  const auto temp = static_cast<bench::Temperature>(state.range(2));
+  const core::DashEngine& engine = bench::Engine(2, tpch::Scale::kMedium);
+  const std::vector<std::string>& keywords = Keywords(temp);
+
+  std::size_t i = 0, results = 0;
+  for (auto _ : state) {
+    auto r = engine.Search({keywords[i % keywords.size()]}, k, s);
+    results += r.size();
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+  state.counters["avg_results"] =
+      static_cast<double>(results) / static_cast<double>(state.iterations());
+}
+
+// Figure-11-style summary table: average elapsed time per (temp, k, s).
+void PrintFigure11() {
+  const core::DashEngine& engine = bench::Engine(2, tpch::Scale::kMedium);
+  std::printf("Figure 11 — top-k search time, milliseconds "
+              "(Q2, medium; avg over 30 keywords)\n");
+  std::printf("%-6s %-6s", "terms", "k");
+  for (std::uint64_t s : kSs) {
+    std::printf("  s=%-8llu", static_cast<unsigned long long>(s));
+  }
+  std::printf("\n");
+  for (auto temp : kTemps) {
+    const auto& keywords = Keywords(temp);
+    for (int k : kKs) {
+      std::printf("%-6s %-6d", bench::TemperatureName(temp), k);
+      for (std::uint64_t s : kSs) {
+        util::Stopwatch watch;
+        for (const std::string& kw : keywords) {
+          benchmark::DoNotOptimize(engine.Search({kw}, k, s));
+        }
+        std::printf("  %-10.4f",
+                    watch.ElapsedMillis() / static_cast<double>(keywords.size()));
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure11();
+  for (auto temp : kTemps) {
+    for (int k : kKs) {
+      for (std::uint64_t s : kSs) {
+        std::string name = std::string("topk_search/") +
+                           bench::TemperatureName(temp) + "/k" +
+                           std::to_string(k) + "/s" + std::to_string(s);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [](benchmark::State& state) { BM_TopKSearch(state); })
+            ->Args({k, static_cast<long>(s), static_cast<long>(temp)})
+            ->Unit(benchmark::kMicrosecond);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

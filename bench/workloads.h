@@ -1,0 +1,122 @@
+// Shared workload definitions for the benchmark suite: the paper's three
+// application queries (Table III) against the TPC-H-style schema, dataset
+// caching, and keyword-temperature selection (Section VII-B).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dash_engine.h"
+#include "sql/parser.h"
+#include "tpch/tpch.h"
+#include "webapp/query_string.h"
+
+namespace dash::bench {
+
+// Table III, adapted to the generator's schema (same join shapes, same
+// selection parameters $r / $min / $max).
+inline const char* kQ1Sql =
+    "SELECT * FROM (region JOIN nation) JOIN customer "
+    "WHERE region.rid = $r AND acctbal BETWEEN $min AND $max";
+inline const char* kQ2Sql =
+    "SELECT * FROM (customer JOIN orders) JOIN lineitem "
+    "WHERE customer.cid = $r AND qty BETWEEN $min AND $max";
+inline const char* kQ3Sql =
+    "SELECT * FROM (customer JOIN orders) JOIN (lineitem JOIN part) "
+    "WHERE customer.cid = $r AND qty BETWEEN $min AND $max";
+
+inline const char* QuerySql(int q) {
+  switch (q) {
+    case 1:
+      return kQ1Sql;
+    case 2:
+      return kQ2Sql;
+    default:
+      return kQ3Sql;
+  }
+}
+
+inline webapp::WebAppInfo MakeApp(int q) {
+  webapp::WebAppInfo app;
+  app.name = "Q" + std::to_string(q);
+  app.uri = "warehouse.example/q" + std::to_string(q);
+  app.query = sql::Parse(QuerySql(q));
+  app.codec =
+      webapp::QueryStringCodec({{"r", "r"}, {"l", "min"}, {"u", "max"}});
+  return app;
+}
+
+// Datasets are deterministic, so cache one instance per scale.
+inline const db::Database& Dataset(tpch::Scale scale) {
+  static std::map<tpch::Scale, std::unique_ptr<db::Database>> cache;
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    it = cache.emplace(scale, std::make_unique<db::Database>(
+                                  tpch::Generate(scale)))
+             .first;
+  }
+  return *it->second;
+}
+
+// Cached reference-crawl engine per (query, scale) — used by the search
+// and graph benches so index construction isn't re-measured.
+inline const core::DashEngine& Engine(int q, tpch::Scale scale) {
+  static std::map<std::pair<int, int>, std::unique_ptr<core::DashEngine>>
+      cache;
+  auto key = std::make_pair(q, static_cast<int>(scale));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    core::BuildOptions options;
+    options.algorithm = core::CrawlAlgorithm::kReference;
+    it = cache
+             .emplace(key, std::make_unique<core::DashEngine>(
+                               core::DashEngine::Build(Dataset(scale),
+                                                       MakeApp(q), options)))
+             .first;
+  }
+  return *it->second;
+}
+
+// Section VII-B keyword buckets: 30 keywords from the top / middle /
+// bottom 10% of the DF-ordered keyword list.
+enum class Temperature { kCold, kWarm, kHot };
+
+inline const char* TemperatureName(Temperature t) {
+  switch (t) {
+    case Temperature::kCold:
+      return "cold";
+    case Temperature::kWarm:
+      return "warm";
+    case Temperature::kHot:
+      return "hot";
+  }
+  return "?";
+}
+
+inline std::vector<std::string> PickKeywords(
+    const core::InvertedFragmentIndex& index, Temperature temp,
+    std::size_t count = 30) {
+  auto by_df = index.KeywordsByDf();  // descending DF
+  std::size_t n = by_df.size();
+  std::size_t begin = 0;
+  switch (temp) {
+    case Temperature::kHot:
+      begin = 0;  // top 10%
+      break;
+    case Temperature::kWarm:
+      begin = n > 0 ? (n / 2 > count ? n / 2 - count / 2 : 0) : 0;  // middle
+      break;
+    case Temperature::kCold:
+      begin = n > count ? n - count : 0;  // bottom 10%
+      break;
+  }
+  std::vector<std::string> out;
+  for (std::size_t i = begin; i < n && out.size() < count; ++i) {
+    out.push_back(by_df[i].first);
+  }
+  return out;
+}
+
+}  // namespace dash::bench

@@ -1,0 +1,186 @@
+// dash_cli — the Dash search engine as a command-line tool.
+//
+// A downstream user's workflow, end to end, with nothing hard-coded:
+//
+//   # 1. Get a sample dataset + servlet to play with (or bring your own):
+//   ./dash_cli dump-sample /tmp/dashdemo
+//
+//   # 2. Crawl the database through the analyzed web application and
+//   #    persist the fragment index:
+//   ./dash_cli crawl /tmp/dashdemo/db /tmp/dashdemo/Search.java
+//       Search www.example.com/Search /tmp/dashdemo/search.idx
+//   (one line; wrapped here for width)
+//
+//   # 3. Serve keyword searches from the index file:
+//   ./dash_cli search /tmp/dashdemo/search.idx -k 2 -s 20 burger
+//   ./dash_cli stats  /tmp/dashdemo/search.idx
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/dash_engine.h"
+#include "core/index_io.h"
+#include "db/csv_io.h"
+#include "testing/fooddb.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "webapp/servlet_analyzer.h"
+
+namespace {
+
+using namespace dash;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dash_cli dump-sample <dir>\n"
+               "  dash_cli crawl <dbdir> <servlet> <name> <uri> <out.idx> "
+               "[--algorithm ref|sw|int]\n"
+               "  dash_cli search <idx> [-k N] [-s N] <keyword>...\n"
+               "  dash_cli stats <idx>\n");
+  return 2;
+}
+
+int DumpSample(const std::string& dir) {
+  namespace fs = std::filesystem;
+  fs::create_directories(fs::path(dir) / "db");
+  db::SaveDatabase(testing::MakeFoodDb(), (fs::path(dir) / "db").string());
+  std::ofstream servlet(fs::path(dir) / "Search.java", std::ios::trunc);
+  servlet << webapp::ExampleSearchServletSource();
+  std::printf("Wrote sample database to %s/db and servlet to "
+              "%s/Search.java\n",
+              dir.c_str(), dir.c_str());
+  return 0;
+}
+
+int Crawl(int argc, char** argv) {
+  if (argc < 7) return Usage();
+  const std::string dbdir = argv[2];
+  const std::string servlet_path = argv[3];
+  const std::string name = argv[4];
+  const std::string uri = argv[5];
+  const std::string out_path = argv[6];
+  core::BuildOptions options;
+  options.algorithm = core::CrawlAlgorithm::kIntegrated;
+  for (int i = 7; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--algorithm") == 0) {
+      std::string a = argv[i + 1];
+      if (a == "ref") options.algorithm = core::CrawlAlgorithm::kReference;
+      else if (a == "sw") options.algorithm = core::CrawlAlgorithm::kStepwise;
+      else if (a == "int") options.algorithm = core::CrawlAlgorithm::kIntegrated;
+      else return Usage();
+    }
+  }
+
+  db::Database db = db::LoadDatabase(dbdir);
+  std::printf("Loaded %zu tables from %s\n", db.TableNames().size(),
+              dbdir.c_str());
+
+  std::ifstream in(servlet_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read servlet source %s\n",
+                 servlet_path.c_str());
+    return 1;
+  }
+  std::string source((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  webapp::WebAppInfo app = webapp::AnalyzeServlet(source, name, uri);
+  std::printf("Analyzed application %s:\n  %s\n", app.name.c_str(),
+              app.query.ToString().c_str());
+
+  util::Stopwatch watch;
+  core::DashEngine engine = core::DashEngine::Build(db, app, options);
+  std::printf("Crawled with the %s algorithm in %.3fs: %zu fragments, "
+              "%zu keywords, %zu graph edges\n",
+              std::string(core::CrawlAlgorithmName(options.algorithm)).c_str(),
+              watch.ElapsedSeconds(), engine.catalog().size(),
+              engine.index().keyword_count(), engine.graph().edge_count());
+  for (const core::CrawlPhase& phase : engine.crawl_phases()) {
+    std::printf("  %-9s %s\n", phase.name.c_str(),
+                phase.metrics.ToString().c_str());
+  }
+  core::SaveEngineFile(engine, out_path);
+  std::printf("Index saved to %s\n", out_path.c_str());
+  return 0;
+}
+
+int Search(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string idx_path = argv[2];
+  int k = 10;
+  std::uint64_t s = 100;
+  std::vector<std::string> keywords;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-k") == 0 && i + 1 < argc) {
+      k = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "-s") == 0 && i + 1 < argc) {
+      s = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      keywords.emplace_back(argv[i]);
+    }
+  }
+  if (keywords.empty()) return Usage();
+
+  core::DashEngine engine = core::LoadEngineFile(idx_path);
+  util::Stopwatch watch;
+  auto results = engine.Search(keywords, k, s);
+  double ms = watch.ElapsedMillis();
+  if (results.empty()) {
+    std::printf("no db-pages match '%s'\n",
+                util::Join(keywords, " ").c_str());
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("%2zu. %-60s score=%.5f (%llu words)\n", i + 1,
+                results[i].url.c_str(), results[i].score,
+                static_cast<unsigned long long>(results[i].size_words));
+  }
+  std::printf("(%zu result%s in %.3f ms)\n", results.size(),
+              results.size() == 1 ? "" : "s", ms);
+  return 0;
+}
+
+int Stats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  core::DashEngine engine = core::LoadEngineFile(argv[2]);
+  std::printf("application : %s (%s)\n", engine.app().name.c_str(),
+              engine.app().uri.c_str());
+  std::printf("query       : %s\n", engine.app().query.ToString().c_str());
+  std::printf("fragments   : %zu (avg %.1f keywords)\n",
+              engine.catalog().size(), engine.catalog().AverageKeywords());
+  std::printf("keywords    : %zu distinct, %zu postings\n",
+              engine.index().keyword_count(), engine.index().posting_count());
+  std::printf("index size  : %s\n",
+              util::HumanBytes(engine.index().SizeBytes() +
+                               engine.catalog().SizeBytes())
+                  .c_str());
+  std::printf("graph       : %zu edges over %zu equality groups\n",
+              engine.graph().edge_count(), engine.graph().num_groups());
+  auto by_df = engine.index().KeywordsByDf();
+  std::printf("hottest     :");
+  for (std::size_t i = 0; i < by_df.size() && i < 5; ++i) {
+    std::printf(" %s(%zu)", by_df[i].first.c_str(), by_df[i].second);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  try {
+    if (std::strcmp(argv[1], "dump-sample") == 0 && argc >= 3) {
+      return DumpSample(argv[2]);
+    }
+    if (std::strcmp(argv[1], "crawl") == 0) return Crawl(argc, argv);
+    if (std::strcmp(argv[1], "search") == 0) return Search(argc, argv);
+    if (std::strcmp(argv[1], "stats") == 0) return Stats(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}

@@ -1,0 +1,70 @@
+// Incremental index maintenance + persistence demo (paper Section VIII).
+//
+// Walks the lifecycle a production deployment of Dash would follow:
+//   1. full crawl of fooddb and a search;
+//   2. live database updates (new comments/restaurants, deletions) applied
+//      through UpdatableIndex — only affected fragments are recomputed;
+//   3. the refreshed index is saved to disk and reloaded into a serving
+//      engine that answers the same search with the new content.
+//
+//   $ ./incremental_updates
+#include <cstdio>
+
+#include "core/dash_engine.h"
+#include "core/index_io.h"
+#include "core/index_update.h"
+#include "testing/fooddb.h"
+
+namespace {
+
+void PrintResults(const char* label,
+                  const std::vector<dash::core::SearchResult>& results) {
+  std::printf("%s\n", label);
+  if (results.empty()) std::printf("  (none)\n");
+  for (const auto& r : results) {
+    std::printf("  %-55s score=%.4f (%llu words)\n", r.url.c_str(), r.score,
+                static_cast<unsigned long long>(r.size_words));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace dash;
+
+  webapp::WebAppInfo app = testing::MakeSearchApp();
+
+  // --- 1. Initial crawl. ---
+  core::UpdatableIndex updatable(testing::MakeFoodDb(), app.query);
+  std::printf("Initial crawl: %zu fragments\n", updatable.fragment_count());
+  auto serve = [&app, &updatable] {
+    return core::DashEngine::FromParts(app, updatable.CopyBuild());
+  };
+
+  PrintResults("Top-2 for \"burger\" before updates:",
+               serve().Search({"burger"}, 2, 20));
+
+  // --- 2. Live updates. ---
+  std::printf("\nApplying updates:\n");
+  std::printf("  + comment 207 on Burger Queen (\"best burger downtown\")\n");
+  updatable.Insert("comment", {207, 1, 132, "Best burger downtown", "03/12"});
+  std::printf("  + restaurant 8: Saigon Bowl (Vietnamese, $11)\n");
+  updatable.Insert("restaurant", {8, "Saigon Bowl", "Vietnamese", 11, 4.6});
+  std::printf("  - comment 205 (\"Thai burger\") removed\n");
+  updatable.Delete("comment", {205, 6, 180, "Thai burger", "08/11"});
+  std::printf("Fragments recomputed: %zu of %zu total — the update cost\n",
+              updatable.fragments_recomputed(), updatable.fragment_count());
+
+  PrintResults("\nTop-3 for \"burger\" after updates:",
+               serve().Search({"burger"}, 3, 20));
+
+  // --- 3. Persist and reload. ---
+  const std::string path = "/tmp/dash_fooddb.idx";
+  core::DashEngine fresh = serve();
+  core::SaveEngineFile(fresh, path);
+  std::printf("\nIndex saved to %s; reloading...\n", path.c_str());
+  core::DashEngine loaded = core::LoadEngineFile(path);
+  PrintResults("Top-3 for \"burger\" from the reloaded index:",
+               loaded.Search({"burger"}, 3, 20));
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Web application analysis demo (paper Section III, Example 2).
+//
+// Feeds the Figure 3 Search servlet source to the analyzer, prints the
+// recovered query-string bindings and parameterized PSJ query, then uses
+// reverse engineering to enumerate every query string the application
+// accepts — deduced purely from the database content, exactly the paper's
+// "reverse query parsing" idea.
+//
+//   $ ./webapp_analysis
+#include <cstdio>
+#include <set>
+
+#include "core/crawler.h"
+#include "testing/fooddb.h"
+#include "webapp/servlet_analyzer.h"
+
+int main() {
+  using namespace dash;
+
+  std::string_view source = webapp::ExampleSearchServletSource();
+  std::printf("Servlet source under analysis:\n%.*s\n",
+              static_cast<int>(source.size()), source.data());
+
+  webapp::WebAppInfo app = webapp::AnalyzeServlet(source, "Search",
+                                                  "www.example.com/Search");
+  std::printf("Recovered bindings (URL field -> query parameter):\n");
+  for (const webapp::ParamBinding& b : app.codec.bindings()) {
+    std::printf("  %s -> %s\n", b.url_field.c_str(), b.parameter.c_str());
+  }
+  std::printf("Recovered parameterized PSJ query:\n  %s\n\n",
+              app.query.ToString().c_str());
+
+  // Reverse engineering (Example 2): parameter values live in the operand
+  // relations, so all query strings can be deduced from the database.
+  db::Database db = testing::MakeFoodDb();
+  const db::Table& restaurant = db.table("restaurant");
+  std::set<std::string> cuisines;
+  std::set<std::int64_t> budgets;
+  for (const db::Row& row : restaurant.rows()) {
+    cuisines.insert(row[2].AsString());
+    budgets.insert(row[3].AsInt());
+  }
+
+  std::printf("Deducible query strings (cuisine x budget x budget):\n");
+  int shown = 0;
+  for (const std::string& cuisine : cuisines) {
+    for (std::int64_t lo : budgets) {
+      for (std::int64_t hi : budgets) {
+        if (lo > hi) continue;
+        std::string url = app.UrlFor({{"cuisine", cuisine},
+                                      {"min", std::to_string(lo)},
+                                      {"max", std::to_string(hi)}});
+        std::printf("  %s\n", url.c_str());
+        ++shown;
+      }
+    }
+  }
+  std::printf("=> %d canonical query strings for %zu cuisines and %zu "
+              "budget values.\n",
+              shown, cuisines.size(), budgets.size());
+  return 0;
+}

@@ -1,0 +1,213 @@
+#include "baseline/page_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stopwatch.h"
+#include "util/tokenizer.h"
+
+namespace dash::baseline {
+
+namespace {
+
+// Keyword counts of one fragment.
+struct FragmentDoc {
+  db::Row id;
+  std::unordered_map<std::string, std::size_t> counts;
+  std::uint64_t words = 0;
+};
+
+}  // namespace
+
+PageEngine::PageEngine(const db::Database& db, webapp::WebAppInfo app,
+                       PageEngineOptions options)
+    : app_(std::move(app)) {
+  util::Stopwatch watch;
+  core::Crawler crawler(db, app_.query);
+  const auto& selection = crawler.selection();
+  const std::size_t num_eq = crawler.num_eq_attributes();
+  const std::size_t num_range = crawler.num_range_attributes();
+  if (num_range > 1) {
+    throw std::runtime_error(
+        "PageEngine enumerates pages for at most one range attribute");
+  }
+
+  // Tokenize fragments once; pages below are unions of fragment runs.
+  std::vector<FragmentDoc> docs;
+  for (core::Fragment& frag : crawler.DeriveFragments()) {
+    FragmentDoc doc;
+    doc.id = std::move(frag.id);
+    util::TokenCounter counter;
+    for (const db::Row& row : frag.rows) {
+      core::Crawler::CountRowKeywords(row, counter);
+    }
+    doc.counts.insert(counter.counts().begin(), counter.counts().end());
+    doc.words = counter.total();
+    docs.push_back(std::move(doc));
+  }
+
+  auto url_for = [&](const db::Row& first_id, const db::Row& last_id) {
+    std::map<std::string, std::string> params;
+    for (std::size_t d = 0; d < selection.size(); ++d) {
+      const sql::SelectionAttribute& attr = selection[d];
+      if (!attr.is_range) {
+        params[attr.eq_parameter] = first_id[d].ToString();
+      } else {
+        if (!attr.min_parameter.empty()) {
+          params[attr.min_parameter] = first_id[d].ToString();
+        }
+        if (!attr.max_parameter.empty()) {
+          params[attr.max_parameter] = last_id[d].ToString();
+        }
+      }
+    }
+    return app_.UrlFor(params);
+  };
+
+  auto emit_page = [&](std::size_t lo, std::size_t hi,
+                       const std::unordered_map<std::string, std::size_t>&
+                           counts,
+                       std::uint64_t words) {
+    std::uint32_t page = static_cast<std::uint32_t>(pages_.size());
+    Page p;
+    for (std::size_t f = lo; f <= hi; ++f) {
+      p.fragments.push_back(static_cast<core::FragmentHandle>(f));
+    }
+    p.words = words;
+    p.url = url_for(docs[lo].id, docs[hi].id);
+    pages_.push_back(std::move(p));
+    for (const auto& [keyword, count] : counts) {
+      postings_[keyword].emplace_back(page, static_cast<std::uint32_t>(count));
+    }
+  };
+
+  // Enumerate pages per equality group.
+  std::size_t begin = 0;
+  while (begin < docs.size() && !truncated_) {
+    std::size_t end = begin + 1;
+    while (end < docs.size()) {
+      bool same = true;
+      for (std::size_t d = 0; d < num_eq; ++d) {
+        if (!(docs[begin].id[d] == docs[end].id[d])) {
+          same = false;
+          break;
+        }
+      }
+      if (!same) break;
+      ++end;
+    }
+
+    if (num_range == 0) {
+      // One page per fragment: the query pins every selection attribute.
+      for (std::size_t f = begin; f < end && !truncated_; ++f) {
+        emit_page(f, f, docs[f].counts, docs[f].words);
+        if (options.max_pages != 0 && pages_.size() >= options.max_pages) {
+          truncated_ = true;
+        }
+      }
+    } else {
+      // Every [lo, hi] range-value interval is a distinct page.
+      for (std::size_t lo = begin; lo < end && !truncated_; ++lo) {
+        std::unordered_map<std::string, std::size_t> counts;
+        std::uint64_t words = 0;
+        for (std::size_t hi = lo; hi < end && !truncated_; ++hi) {
+          for (const auto& [keyword, count] : docs[hi].counts) {
+            counts[keyword] += count;
+          }
+          words += docs[hi].words;
+          emit_page(lo, hi, counts, words);
+          if (options.max_pages != 0 && pages_.size() >= options.max_pages) {
+            truncated_ = true;
+          }
+        }
+      }
+    }
+    begin = end;
+  }
+
+  // Inverted-file order: occurrences descending.
+  for (auto& [keyword, list] : postings_) {
+    std::sort(list.begin(), list.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+  }
+  build_seconds_ = watch.ElapsedSeconds();
+}
+
+std::vector<PageResult> PageEngine::Search(
+    const std::vector<std::string>& keywords, int k) const {
+  std::vector<std::string> terms;
+  for (const std::string& raw : keywords) {
+    for (std::string& tok : util::Tokenize(raw)) {
+      if (std::find(terms.begin(), terms.end(), tok) == terms.end()) {
+        terms.push_back(std::move(tok));
+      }
+    }
+  }
+  std::unordered_map<std::uint32_t, double> scores;
+  for (const std::string& term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    double idf = 1.0 / static_cast<double>(it->second.size());
+    for (const auto& [page, occ] : it->second) {
+      const Page& p = pages_[page];
+      if (p.words == 0) continue;
+      scores[page] +=
+          idf * static_cast<double>(occ) / static_cast<double>(p.words);
+    }
+  }
+  std::vector<std::pair<std::uint32_t, double>> ranked(scores.begin(),
+                                                       scores.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (k >= 0 && ranked.size() > static_cast<std::size_t>(k)) {
+    ranked.resize(static_cast<std::size_t>(k));
+  }
+  std::vector<PageResult> results;
+  results.reserve(ranked.size());
+  for (const auto& [page, score] : ranked) {
+    const Page& p = pages_[page];
+    results.push_back(PageResult{p.url, score, p.words, p.fragments});
+  }
+  return results;
+}
+
+std::size_t PageEngine::IndexSizeBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [keyword, list] : postings_) {
+    bytes += keyword.size() + list.size() * sizeof(list[0]);
+  }
+  return bytes;
+}
+
+std::uint64_t PageEngine::TotalPageWords() const {
+  std::uint64_t total = 0;
+  for (const Page& p : pages_) total += p.words;
+  return total;
+}
+
+double PageEngine::RedundantFraction(const std::vector<PageResult>& results) {
+  if (results.empty()) return 0.0;
+  std::size_t redundant = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      if (i == j) continue;
+      const auto& a = results[i].fragments;
+      const auto& b = results[j].fragments;
+      if (a.size() > b.size() ||
+          (a.size() == b.size() && i < j)) {  // count each mutual pair once
+        continue;
+      }
+      if (std::includes(b.begin(), b.end(), a.begin(), a.end())) {
+        ++redundant;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(redundant) / static_cast<double>(results.size());
+}
+
+}  // namespace dash::baseline

@@ -1,0 +1,129 @@
+#include "baseline/rdb_keyword_search.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace dash::baseline {
+
+namespace {
+
+// Union-find over matched-record indices.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+bool RecordMatches(const db::Row& row,
+                   const std::vector<std::string>& keywords) {
+  for (const db::Value& v : row) {
+    if (v.is_null()) continue;
+    std::string text = v.ToString();
+    for (const std::string& kw : keywords) {
+      if (util::ContainsIgnoreCase(text, kw)) return true;
+    }
+  }
+  return false;
+}
+
+std::string JoinedResult::ToString(const db::Database& db) const {
+  std::string out;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i) out += " |x| ";
+    const db::Table& table = db.table(records[i].table);
+    out += records[i].table;
+    out += "(";
+    const db::Row& row = table.rows()[records[i].row_index];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ", ";
+      out += row[c].ToString();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+std::vector<JoinedResult> RelationalKeywordSearch(
+    const db::Database& db, const std::vector<std::string>& keywords) {
+  // Step (i): per-relation candidate records.
+  std::vector<MatchedRecord> matches;
+  for (const std::string& name : db.TableNames()) {
+    const db::Table& table = db.table(name);
+    for (std::size_t r = 0; r < table.row_count(); ++r) {
+      if (RecordMatches(table.rows()[r], keywords)) {
+        matches.push_back(MatchedRecord{name, r});
+      }
+    }
+  }
+
+  // Step (ii): connect matches linked through foreign keys.
+  DisjointSets sets(matches.size());
+  for (const db::ForeignKey& fk : db.foreign_keys()) {
+    const db::Table& from = db.table(fk.from_table);
+    const db::Table& to = db.table(fk.to_table);
+    int fc = from.schema().IndexOf(fk.from_column);
+    int tc = to.schema().IndexOf(fk.to_column);
+
+    // Index the referenced side's matches by key value.
+    std::unordered_map<db::Value, std::vector<std::size_t>, db::ValueHash>
+        to_matches;
+    for (std::size_t m = 0; m < matches.size(); ++m) {
+      if (matches[m].table != fk.to_table) continue;
+      const db::Value& key =
+          to.rows()[matches[m].row_index][static_cast<std::size_t>(tc)];
+      if (!key.is_null()) to_matches[key].push_back(m);
+    }
+    for (std::size_t m = 0; m < matches.size(); ++m) {
+      if (matches[m].table != fk.from_table) continue;
+      const db::Value& key =
+          from.rows()[matches[m].row_index][static_cast<std::size_t>(fc)];
+      if (key.is_null()) continue;
+      auto it = to_matches.find(key);
+      if (it == to_matches.end()) continue;
+      for (std::size_t other : it->second) sets.Union(m, other);
+    }
+  }
+
+  // Emit one joined result per connected component.
+  std::map<std::size_t, JoinedResult> components;
+  for (std::size_t m = 0; m < matches.size(); ++m) {
+    components[sets.Find(m)].records.push_back(matches[m]);
+  }
+  std::vector<JoinedResult> results;
+  results.reserve(components.size());
+  for (auto& [_, result] : components) {
+    std::sort(result.records.begin(), result.records.end(),
+              [](const MatchedRecord& a, const MatchedRecord& b) {
+                if (a.table != b.table) return a.table < b.table;
+                return a.row_index < b.row_index;
+              });
+    results.push_back(std::move(result));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const JoinedResult& a, const JoinedResult& b) {
+              if (a.records[0].table != b.records[0].table) {
+                return a.records[0].table < b.records[0].table;
+              }
+              return a.records[0].row_index < b.records[0].row_index;
+            });
+  return results;
+}
+
+}  // namespace dash::baseline

@@ -1,0 +1,76 @@
+// The "surfacing" baseline — the pre-Dash way of reaching db-pages that
+// Section I describes and rejects: "search engines may submit as many
+// trial query strings as possible to web applications to generate
+// db-pages ... [this] cannot guarantee the completeness of collected
+// db-pages ... may generate many valueless db-pages, e.g., empty pages
+// [and] pages with identical contents. In addition, both websites hosting
+// web applications and search engines will be easily exhausted by such
+// overwhelming web application invocations." (Cf. Google's DeepWeb
+// surfacing, ref. [19].)
+//
+// SurfacingCrawler invokes a WebApplication with trial query strings under
+// an invocation budget and records what that buys: how many invocations
+// produced empty pages, how many produced a page whose content was already
+// seen, and how much of the application's distinct content was actually
+// discovered. Two probing strategies are provided:
+//
+//   * kBlind      — the crawler knows only the URL fields: it probes
+//                   values drawn from small dictionaries / numeric ranges
+//                   (what a crawler without database access can do);
+//   * kInformed   — the crawler samples real attribute values from the
+//                   database (the paper's best case for surfacing, still
+//                   quadratically wasteful on range parameters).
+//
+// bench_surfacing compares both against Dash's database crawling, which
+// touches every fragment exactly once by construction.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "util/random.h"
+#include "webapp/app_runtime.h"
+
+namespace dash::baseline {
+
+enum class ProbeStrategy { kBlind, kInformed };
+
+struct SurfacingOptions {
+  ProbeStrategy strategy = ProbeStrategy::kInformed;
+  std::size_t max_invocations = 1000;
+  std::uint64_t seed = 7;
+};
+
+struct SurfacingReport {
+  std::size_t invocations = 0;
+  std::size_t empty_pages = 0;
+  std::size_t duplicate_pages = 0;   // content identical to an earlier page
+  std::size_t distinct_pages = 0;
+  // Coverage of the application's atomic content: fraction of the
+  // database-derivable fragments whose content appeared in at least one
+  // surfaced page.
+  std::size_t fragments_total = 0;
+  std::size_t fragments_covered = 0;
+
+  double FragmentCoverage() const {
+    return fragments_total == 0
+               ? 1.0
+               : static_cast<double>(fragments_covered) /
+                     static_cast<double>(fragments_total);
+  }
+  double WasteFraction() const {
+    return invocations == 0
+               ? 0.0
+               : static_cast<double>(empty_pages + duplicate_pages) /
+                     static_cast<double>(invocations);
+  }
+};
+
+// Runs the surfacing crawl against `app` (whose database is needed for
+// kInformed value sampling and for coverage accounting).
+SurfacingReport SurfaceDbPages(const db::Database& db,
+                               const webapp::WebAppInfo& app,
+                               const SurfacingOptions& options = {});
+
+}  // namespace dash::baseline

@@ -1,0 +1,141 @@
+#include "core/crawler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sql/eval.h"
+
+namespace dash::core {
+
+namespace {
+
+// Static schema of a join subtree (no row evaluation).
+db::Schema JoinSchema(const db::Database& db, const sql::JoinNode& node) {
+  if (node.IsLeaf()) return db.table(node.relation).schema();
+  return db::Schema::Concat(JoinSchema(db, *node.left),
+                            JoinSchema(db, *node.right));
+}
+
+db::Schema CollectJoinEdges(
+    const db::Database& db, const sql::JoinNode& node,
+    std::vector<std::pair<std::string, std::string>>* edges) {
+  if (node.IsLeaf()) return db.table(node.relation).schema();
+  db::Schema left = CollectJoinEdges(db, *node.left, edges);
+  db::Schema right = CollectJoinEdges(db, *node.right, edges);
+  std::string on_left = node.on_left, on_right = node.on_right;
+  if (on_left.empty()) {
+    std::tie(on_left, on_right) = db::FindJoinColumns(db, left, right);
+  } else {
+    on_left = left.column(static_cast<std::size_t>(left.IndexOf(on_left)))
+                  .Qualified();
+    on_right = right.column(static_cast<std::size_t>(right.IndexOf(on_right)))
+                   .Qualified();
+  }
+  edges->emplace_back(std::move(on_left), std::move(on_right));
+  return db::Schema::Concat(left, right);
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> ResolvedJoinEdges(
+    const db::Database& db, const sql::JoinNode& root) {
+  std::vector<std::pair<std::string, std::string>> edges;
+  CollectJoinEdges(db, root, &edges);
+  return edges;
+}
+
+Crawler::Crawler(const db::Database& db, sql::PsjQuery query)
+    : db_(db), query_(std::move(query)) {
+  if (!query_.from) {
+    throw std::runtime_error("PSJ query has no FROM clause");
+  }
+  for (const std::string& rel : query_.Relations()) {
+    if (!db_.HasTable(rel)) {
+      throw std::runtime_error("query references unknown relation '" + rel +
+                               "'");
+    }
+  }
+  db::Schema joined = JoinSchema(db_, *query_.from);
+
+  selection_ = query_.SelectionAttributes();
+  for (const sql::SelectionAttribute& a : selection_) {
+    // Resolve to the fully qualified name so MR pipelines can locate the
+    // attribute's home relation.
+    int idx = joined.IndexOf(a.column);
+    selection_columns_.push_back(
+        joined.column(static_cast<std::size_t>(idx)).Qualified());
+    if (!a.is_range) ++num_eq_;
+  }
+
+  projection_columns_ = sql::ResolveProjection(db_, query_);
+}
+
+db::Table Crawler::EvalJoin() const { return sql::EvalJoin(db_, *query_.from); }
+
+std::vector<Fragment> Crawler::DeriveFragments() const {
+  db::Table joined = EvalJoin();
+  std::vector<int> sel_idx, proj_idx;
+  for (const std::string& c : selection_columns_) {
+    sel_idx.push_back(joined.schema().IndexOf(c));
+  }
+  for (const std::string& c : projection_columns_) {
+    proj_idx.push_back(joined.schema().IndexOf(c));
+  }
+
+  std::unordered_map<db::Row, std::size_t, db::RowHash> slot;
+  std::vector<Fragment> fragments;
+  for (const db::Row& row : joined.rows()) {
+    db::Row id;
+    id.reserve(sel_idx.size());
+    bool null_id = false;
+    for (int i : sel_idx) {
+      const db::Value& v = row[static_cast<std::size_t>(i)];
+      null_id |= v.is_null();
+      id.push_back(v);
+    }
+    // Rows with a NULL selection value satisfy no query string: they belong
+    // to no db-page and thus to no fragment (see GroupMapper).
+    if (null_id) continue;
+    auto [it, inserted] = slot.emplace(id, fragments.size());
+    if (inserted) fragments.push_back(Fragment{std::move(id), {}});
+    db::Row projected;
+    projected.reserve(proj_idx.size());
+    for (int i : proj_idx) projected.push_back(row[static_cast<std::size_t>(i)]);
+    fragments[it->second].rows.push_back(std::move(projected));
+  }
+  std::sort(fragments.begin(), fragments.end(),
+            [](const Fragment& a, const Fragment& b) { return a.id < b.id; });
+  return fragments;
+}
+
+FragmentIndexBuild Crawler::BuildIndex() const {
+  FragmentIndexBuild build;
+  for (const Fragment& frag : DeriveFragments()) {
+    FragmentHandle handle = build.catalog.Intern(frag.id);
+    util::TokenCounter counter;
+    for (const db::Row& row : frag.rows) CountRowKeywords(row, counter);
+    for (const auto& [keyword, count] : counter.counts()) {
+      build.index.AddOccurrences(keyword, handle,
+                                 static_cast<std::uint32_t>(count));
+    }
+  }
+  build.index.Finalize(&build.catalog);
+  std::vector<FragmentHandle> mapping = build.catalog.Canonicalize();
+  build.index.RemapFragments(mapping);
+  return build;
+}
+
+db::Table Crawler::EvalPage(
+    const std::map<std::string, db::Value>& params) const {
+  return sql::EvalQuery(db_, query_, params);
+}
+
+void Crawler::CountRowKeywords(const db::Row& row, util::TokenCounter& counter,
+                               std::size_t multiplier) {
+  for (const db::Value& v : row) {
+    if (v.is_null()) continue;
+    counter.Add(v.ToString(), multiplier);
+  }
+}
+
+}  // namespace dash::core

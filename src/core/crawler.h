@@ -1,0 +1,94 @@
+// Reference (single-node) database crawler, plus join-plan helpers shared
+// by the MR pipelines and the incremental updater.
+//
+// Resolves a parameterized PSJ query against the catalog (join plan,
+// selection attributes, projection columns) and derives fragments by
+// evaluating the paper's *crawling query* — the join with both projection
+// and selection attributes retained — then grouping by selection-attribute
+// values (Section V-A, minus the MapReduce distribution).
+//
+// This is the semantic ground truth: the MR stepwise and integrated
+// pipelines are tested for equality against the index it builds. It also
+// materializes concrete db-pages (EvalPage), which the whole-page baseline
+// and the top-k tests use as the oracle for page contents.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "db/database.h"
+#include "db/ops.h"
+#include "sql/psj_query.h"
+#include "util/tokenizer.h"
+
+namespace dash::core {
+
+// Resolves the join tree statically (no row evaluation) and returns every
+// join condition as a pair of fully qualified column names
+// {left_column, right_column}, in post-order. ON-less joins are resolved
+// through catalog foreign keys.
+std::vector<std::pair<std::string, std::string>> ResolvedJoinEdges(
+    const db::Database& db, const sql::JoinNode& root);
+
+class Crawler {
+ public:
+  // Resolves the query against `db`; throws std::runtime_error on unknown
+  // relations/columns or unclassifiable predicates. `db` must outlive the
+  // crawler.
+  Crawler(const db::Database& db, sql::PsjQuery query);
+
+  const sql::PsjQuery& query() const { return query_; }
+
+  // Selection attributes in canonical (fragment identifier) order.
+  const std::vector<sql::SelectionAttribute>& selection() const {
+    return selection_;
+  }
+  // Qualified selection column names, same order.
+  const std::vector<std::string>& selection_columns() const {
+    return selection_columns_;
+  }
+  // Qualified projection column names (SELECT * expanded).
+  const std::vector<std::string>& projection_columns() const {
+    return projection_columns_;
+  }
+
+  std::size_t num_eq_attributes() const { return num_eq_; }
+  std::size_t num_range_attributes() const {
+    return selection_.size() - num_eq_;
+  }
+
+  // Full join of the operand relations (all columns).
+  db::Table EvalJoin() const;
+
+  // Derives all fragments: rows projected to projection_columns, grouped by
+  // selection values. Fragments are returned in ascending identifier order.
+  std::vector<Fragment> DeriveFragments() const;
+
+  // Builds the fragment index on a single node (no MapReduce). The catalog
+  // is canonicalized (handles in identifier order).
+  FragmentIndexBuild BuildIndex() const;
+
+  // Materializes the db-page for concrete parameter values: joined rows
+  // satisfying every predicate, projected. `params` maps parameter name ->
+  // value; a missing range bound means unbounded, a missing equality
+  // parameter throws.
+  db::Table EvalPage(const std::map<std::string, db::Value>& params) const;
+
+  // Keyword extraction shared with the baselines: tokenizes every projected
+  // attribute of `row` into `counter`, `multiplier` times.
+  static void CountRowKeywords(const db::Row& row,
+                               util::TokenCounter& counter,
+                               std::size_t multiplier = 1);
+
+ private:
+  const db::Database& db_;
+  sql::PsjQuery query_;
+  std::vector<sql::SelectionAttribute> selection_;
+  std::vector<std::string> selection_columns_;
+  std::vector<std::string> projection_columns_;
+  std::size_t num_eq_ = 0;
+};
+
+}  // namespace dash::core

@@ -1,0 +1,84 @@
+#include "core/dash_engine.h"
+
+#include "core/pruning.h"
+
+namespace dash::core {
+
+std::string_view CrawlAlgorithmName(CrawlAlgorithm a) {
+  switch (a) {
+    case CrawlAlgorithm::kReference:
+      return "reference";
+    case CrawlAlgorithm::kStepwise:
+      return "stepwise";
+    case CrawlAlgorithm::kIntegrated:
+      return "integrated";
+  }
+  return "?";
+}
+
+DashEngine::DashEngine(webapp::WebAppInfo app, FragmentIndexBuild build,
+                       std::vector<sql::SelectionAttribute> selection,
+                       std::vector<CrawlPhase> phases)
+    : app_(std::move(app)),
+      build_(std::move(build)),
+      selection_(std::move(selection)),
+      phases_(std::move(phases)) {
+  std::size_t num_eq = 0;
+  for (const sql::SelectionAttribute& a : selection_) {
+    if (!a.is_range) ++num_eq;
+  }
+  graph_ = FragmentGraph::Build(build_.catalog, num_eq,
+                                selection_.size() - num_eq);
+}
+
+DashEngine DashEngine::Build(const db::Database& db, webapp::WebAppInfo app,
+                             const BuildOptions& options) {
+  Crawler crawler(db, app.query);
+  std::vector<sql::SelectionAttribute> selection = crawler.selection();
+
+  FragmentIndexBuild build;
+  std::vector<CrawlPhase> phases;
+  switch (options.algorithm) {
+    case CrawlAlgorithm::kReference:
+      build = crawler.BuildIndex();
+      break;
+    case CrawlAlgorithm::kStepwise:
+    case CrawlAlgorithm::kIntegrated: {
+      mr::Cluster cluster(options.cluster);
+      CrawlOptions crawl_options;
+      crawl_options.num_reduce_tasks = options.num_reduce_tasks;
+      CrawlResult result =
+          options.algorithm == CrawlAlgorithm::kStepwise
+              ? StepwiseCrawl(cluster, db, app.query, crawl_options)
+              : IntegratedCrawl(cluster, db, app.query, crawl_options);
+      build = std::move(result.build);
+      phases = std::move(result.phases);
+      break;
+    }
+  }
+  if (options.min_fragment_keywords > 0) {
+    build = PruneFragments(build, options.min_fragment_keywords);
+  }
+  return DashEngine(std::move(app), std::move(build), std::move(selection),
+                    std::move(phases));
+}
+
+DashEngine DashEngine::FromParts(webapp::WebAppInfo app,
+                                 FragmentIndexBuild build) {
+  std::vector<sql::SelectionAttribute> selection =
+      app.query.SelectionAttributes();
+  return DashEngine(std::move(app), std::move(build), std::move(selection),
+                    {});
+}
+
+std::vector<SearchResult> DashEngine::Search(
+    const std::vector<std::string>& keywords, int k,
+    std::uint64_t min_page_words, std::size_t max_seeds) const {
+  // The searcher only binds references, so constructing one per call is
+  // free and keeps DashEngine safely movable.
+  TopKSearcher searcher(build_.index, build_.catalog, graph_, selection_,
+                        &app_);
+  return searcher.Search(keywords, k, min_page_words, max_seeds);
+}
+
+}  // namespace dash::core

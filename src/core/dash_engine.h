@@ -1,0 +1,89 @@
+// DashEngine: the public facade of the Dash search engine.
+//
+// Wires the whole pipeline of Figure 4 together: web application analysis
+// (a WebAppInfo, typically from webapp::AnalyzeServlet), database crawling
+// and fragment indexing (reference, stepwise-MR or integrated-MR), fragment
+// graph construction, and top-k search with URL formulation.
+//
+//   dash::db::Database db = ...;
+//   auto app = dash::webapp::AnalyzeServlet(source, "Search", uri);
+//   auto engine = dash::core::DashEngine::Build(db, app);
+//   for (const auto& r : engine.Search({"burger"}, /*k=*/2, /*s=*/20))
+//     std::cout << r.url << "\n";
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fragment_graph.h"
+#include "core/mr_crawl.h"
+#include "core/topk_search.h"
+#include "db/database.h"
+#include "webapp/query_string.h"
+
+namespace dash::core {
+
+enum class CrawlAlgorithm {
+  kReference,   // single-node, no MapReduce (ground truth)
+  kStepwise,    // Section V-A
+  kIntegrated,  // Section V-B
+};
+
+std::string_view CrawlAlgorithmName(CrawlAlgorithm a);
+
+struct BuildOptions {
+  CrawlAlgorithm algorithm = CrawlAlgorithm::kIntegrated;
+  mr::ClusterConfig cluster;     // ignored by kReference
+  int num_reduce_tasks = 4;      // ignored by kReference
+  // Crawl-scope tradeoff (Section VIII item 3): fragments with fewer
+  // keywords than this are pruned from the index after the crawl.
+  // 0 keeps everything.
+  std::uint64_t min_fragment_keywords = 0;
+};
+
+class DashEngine {
+ public:
+  // Crawls `db` for the db-pages of `app` and builds the fragment index
+  // and fragment graph. `db` is only read during Build.
+  static DashEngine Build(const db::Database& db, webapp::WebAppInfo app,
+                          const BuildOptions& options = {});
+
+  // Assembles an engine from a pre-built fragment index (deserialized via
+  // core/index_io.h, or produced by UpdatableIndex). The fragment graph is
+  // rebuilt from the catalog.
+  static DashEngine FromParts(webapp::WebAppInfo app,
+                              FragmentIndexBuild build);
+
+  // Top-k keyword search (Algorithm 1): at most `k` db-page URLs, pages
+  // grown to at least `min_page_words` keywords where possible.
+  // `max_seeds` optionally caps the relevant fragments seeded per query
+  // (see TopKSearcher::Search).
+  std::vector<SearchResult> Search(const std::vector<std::string>& keywords,
+                                   int k, std::uint64_t min_page_words,
+                                   std::size_t max_seeds = 0) const;
+
+  const webapp::WebAppInfo& app() const { return app_; }
+  const FragmentCatalog& catalog() const { return build_.catalog; }
+  const InvertedFragmentIndex& index() const { return build_.index; }
+  const FragmentGraph& graph() const { return graph_; }
+  const std::vector<sql::SelectionAttribute>& selection() const {
+    return selection_;
+  }
+  // MR phase metrics of the crawl (empty for kReference).
+  const std::vector<CrawlPhase>& crawl_phases() const { return phases_; }
+
+ private:
+  DashEngine(webapp::WebAppInfo app, FragmentIndexBuild build,
+             std::vector<sql::SelectionAttribute> selection,
+             std::vector<CrawlPhase> phases);
+
+  webapp::WebAppInfo app_;
+  FragmentIndexBuild build_;
+  std::vector<sql::SelectionAttribute> selection_;
+  std::vector<CrawlPhase> phases_;
+  FragmentGraph graph_;
+};
+
+}  // namespace dash::core

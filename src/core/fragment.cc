@@ -1,0 +1,82 @@
+#include "core/fragment.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dash::core {
+
+std::string FragmentIdToString(const db::Row& id) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < id.size(); ++i) {
+    if (i) out += ", ";
+    out += id[i].is_null() ? "NULL" : id[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+FragmentHandle FragmentCatalog::Intern(const db::Row& id) {
+  auto it = lookup_.find(id);
+  if (it != lookup_.end()) return it->second;
+  FragmentHandle f = static_cast<FragmentHandle>(ids_.size());
+  ids_.push_back(id);
+  keyword_totals_.push_back(0);
+  content_hashes_.push_back(0);
+  lookup_.emplace(id, f);
+  return f;
+}
+
+std::optional<FragmentHandle> FragmentCatalog::Find(const db::Row& id) const {
+  auto it = lookup_.find(id);
+  if (it == lookup_.end()) return std::nullopt;
+  return it->second;
+}
+
+double FragmentCatalog::AverageKeywords() const {
+  if (ids_.empty()) return 0.0;
+  std::uint64_t total =
+      std::accumulate(keyword_totals_.begin(), keyword_totals_.end(),
+                      std::uint64_t{0});
+  return static_cast<double>(total) / static_cast<double>(ids_.size());
+}
+
+std::vector<FragmentHandle> FragmentCatalog::Canonicalize() {
+  std::vector<FragmentHandle> order(ids_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [this](FragmentHandle a, FragmentHandle b) {
+              return ids_[a] < ids_[b];
+            });
+  // order[new] = old; invert to mapping[old] = new.
+  std::vector<FragmentHandle> mapping(ids_.size());
+  std::vector<db::Row> new_ids(ids_.size());
+  std::vector<std::uint64_t> new_totals(ids_.size());
+  std::vector<std::uint64_t> new_hashes(ids_.size());
+  for (std::size_t n = 0; n < order.size(); ++n) {
+    FragmentHandle old = order[n];
+    mapping[old] = static_cast<FragmentHandle>(n);
+    new_ids[n] = std::move(ids_[old]);
+    new_totals[n] = keyword_totals_[old];
+    new_hashes[n] = content_hashes_[old];
+  }
+  ids_ = std::move(new_ids);
+  keyword_totals_ = std::move(new_totals);
+  content_hashes_ = std::move(new_hashes);
+  lookup_.clear();
+  for (std::size_t n = 0; n < ids_.size(); ++n) {
+    lookup_.emplace(ids_[n], static_cast<FragmentHandle>(n));
+  }
+  return mapping;
+}
+
+std::size_t FragmentCatalog::SizeBytes() const {
+  std::size_t bytes = keyword_totals_.size() * sizeof(std::uint64_t);
+  for (const db::Row& id : ids_) {
+    for (const db::Value& v : id) {
+      bytes += v.type() == db::ValueType::kString ? v.AsString().size() + 8 : 8;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace dash::core

@@ -1,0 +1,85 @@
+// Db-page fragments (paper Definition 2) and the fragment catalog.
+//
+// Given a parameterized PSJ query, a fragment is the set of joined,
+// projected records sharing one concrete combination of selection-attribute
+// values; that value tuple is the fragment's *identifier*. Every db-page
+// the application can generate is a disjoint union of fragments, which is
+// why Dash stores fragments instead of pages.
+//
+// The catalog interns identifiers into dense uint32 handles used by the
+// inverted index, the fragment graph and the searcher, and keeps each
+// fragment's total keyword count (the node weights of Figure 9).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/value.h"
+
+namespace dash::core {
+
+// Dense fragment handle.
+using FragmentHandle = std::uint32_t;
+
+// A fully materialized fragment: identifier + projected record contents.
+// Only the reference crawler materializes these (tests, baseline); the MR
+// pipelines go straight to postings.
+struct Fragment {
+  db::Row id;                  // selection-attribute values, canonical order
+  std::vector<db::Row> rows;   // projected records
+};
+
+// Canonical text encoding of a fragment identifier, e.g. "(American, 10)".
+std::string FragmentIdToString(const db::Row& id);
+
+class FragmentCatalog {
+ public:
+  // Interns `id`, returning its handle (existing or new).
+  FragmentHandle Intern(const db::Row& id);
+
+  std::optional<FragmentHandle> Find(const db::Row& id) const;
+
+  std::size_t size() const { return ids_.size(); }
+  const db::Row& id(FragmentHandle f) const { return ids_[f]; }
+
+  void AddKeywords(FragmentHandle f, std::uint64_t count) {
+    keyword_totals_[f] += count;
+  }
+  std::uint64_t keyword_total(FragmentHandle f) const {
+    return keyword_totals_[f];
+  }
+
+  // Order-independent content fingerprint, accumulated from (keyword,
+  // occurrences) pairs during InvertedFragmentIndex::Finalize. Two
+  // fragments with equal hashes almost surely carry identical keyword
+  // bags — the basis for cross-application result deduplication
+  // (paper Section VIII, item 2).
+  void MixContentHash(FragmentHandle f, std::uint64_t h) {
+    content_hashes_[f] += h;  // commutative mix
+  }
+  std::uint64_t content_hash(FragmentHandle f) const {
+    return content_hashes_[f];
+  }
+
+  // Average keywords per fragment (Table IV's third column).
+  double AverageKeywords() const;
+
+  // Reorders handles so that fragment ids are in ascending lexicographic
+  // order, returning old->new handle mapping. Called once after build so
+  // that catalogs produced by different crawl algorithms are identical.
+  std::vector<FragmentHandle> Canonicalize();
+
+  // Estimated in-memory footprint of identifiers + totals.
+  std::size_t SizeBytes() const;
+
+ private:
+  std::vector<db::Row> ids_;
+  std::vector<std::uint64_t> keyword_totals_;
+  std::vector<std::uint64_t> content_hashes_;
+  std::unordered_map<db::Row, FragmentHandle, db::RowHash> lookup_;
+};
+
+}  // namespace dash::core

@@ -1,0 +1,211 @@
+#include "core/index_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sql/parser.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace dash::core {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+using util::DecodeFields;
+using util::EncodeFields;
+
+std::string ReadLineOrThrow(std::istream& in, const char* what) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw IndexIoError(std::string("unexpected end of index file while "
+                                   "reading ") +
+                       what);
+  }
+  return line;
+}
+
+std::size_t ParseCount(const std::string& line, const char* section) {
+  std::vector<std::string> fields = DecodeFields(line);
+  std::int64_t n = 0;
+  if (fields.size() != 2 || fields[0] != section ||
+      !util::ParseInt64(fields[1], &n) || n < 0) {
+    throw IndexIoError(std::string("malformed '") + section +
+                       "' header: " + line);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+std::string EncodeTypedValue(const db::Value& v) {
+  switch (v.type()) {
+    case db::ValueType::kNull:
+      return "n:";
+    case db::ValueType::kInt:
+      return "i:" + v.ToString();
+    case db::ValueType::kDouble:
+      return "d:" + v.ToString();
+    case db::ValueType::kString:
+      return "s:" + v.AsString();
+  }
+  return "n:";
+}
+
+db::Value DecodeTypedValue(const std::string& text) {
+  if (text.size() < 2 || text[1] != ':') {
+    throw IndexIoError("malformed typed value: " + text);
+  }
+  std::string_view payload = std::string_view(text).substr(2);
+  switch (text[0]) {
+    case 'n':
+      return db::Value::Null();
+    case 'i': {
+      std::int64_t v;
+      if (!util::ParseInt64(payload, &v)) {
+        throw IndexIoError("malformed int value: " + text);
+      }
+      return db::Value(v);
+    }
+    case 'd': {
+      double v;
+      if (!util::ParseDouble(payload, &v)) {
+        throw IndexIoError("malformed double value: " + text);
+      }
+      return db::Value(v);
+    }
+    case 's':
+      return db::Value(std::string(payload));
+  }
+  throw IndexIoError("unknown value type tag: " + text);
+}
+
+void SaveEngine(const DashEngine& engine, std::ostream& out) {
+  out << "DASHIDX\t" << kFormatVersion << "\n";
+  out << EncodeFields(std::vector<std::string>{
+             "app", engine.app().name, engine.app().uri,
+             engine.app().query.ToString()})
+      << "\n";
+
+  const auto& bindings = engine.app().codec.bindings();
+  out << "bindings\t" << bindings.size() << "\n";
+  for (const webapp::ParamBinding& b : bindings) {
+    out << EncodeFields(std::vector<std::string>{b.url_field, b.parameter})
+        << "\n";
+  }
+
+  const FragmentCatalog& catalog = engine.catalog();
+  out << "fragments\t" << catalog.size() << "\n";
+  for (std::size_t f = 0; f < catalog.size(); ++f) {
+    std::vector<std::string> fields;
+    for (const db::Value& v : catalog.id(static_cast<FragmentHandle>(f))) {
+      fields.push_back(EncodeTypedValue(v));
+    }
+    out << EncodeFields(fields) << "\n";
+  }
+
+  auto keywords = engine.index().KeywordsByDf();
+  out << "keywords\t" << keywords.size() << "\n";
+  for (const auto& [keyword, df] : keywords) {
+    std::vector<std::string> fields;
+    fields.push_back(keyword);
+    for (const Posting& p : engine.index().Lookup(keyword)) {
+      fields.push_back(std::to_string(p.fragment) + ":" +
+                       std::to_string(p.occurrences));
+    }
+    out << EncodeFields(fields) << "\n";
+  }
+}
+
+void SaveEngineFile(const DashEngine& engine, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw IndexIoError("cannot open '" + path + "' for writing");
+  SaveEngine(engine, out);
+  if (!out) throw IndexIoError("write failure on '" + path + "'");
+}
+
+DashEngine LoadEngine(std::istream& in) {
+  std::string header = ReadLineOrThrow(in, "header");
+  std::vector<std::string> fields = DecodeFields(header);
+  std::int64_t version = 0;
+  if (fields.size() != 2 || fields[0] != "DASHIDX" ||
+      !util::ParseInt64(fields[1], &version)) {
+    throw IndexIoError("not a Dash index file: " + header);
+  }
+  if (version != kFormatVersion) {
+    throw IndexIoError("unsupported index format version " +
+                       std::to_string(version));
+  }
+
+  fields = DecodeFields(ReadLineOrThrow(in, "app record"));
+  if (fields.size() != 4 || fields[0] != "app") {
+    throw IndexIoError("malformed app record");
+  }
+  webapp::WebAppInfo app;
+  app.name = fields[1];
+  app.uri = fields[2];
+  try {
+    app.query = sql::Parse(fields[3]);
+  } catch (const sql::ParseError& e) {
+    throw IndexIoError(std::string("bad stored SQL: ") + e.what());
+  }
+
+  std::size_t n = ParseCount(ReadLineOrThrow(in, "bindings"), "bindings");
+  std::vector<webapp::ParamBinding> bindings;
+  for (std::size_t i = 0; i < n; ++i) {
+    fields = DecodeFields(ReadLineOrThrow(in, "binding"));
+    if (fields.size() != 2) throw IndexIoError("malformed binding line");
+    bindings.push_back(webapp::ParamBinding{fields[0], fields[1]});
+  }
+  app.codec = webapp::QueryStringCodec(std::move(bindings));
+
+  FragmentIndexBuild build;
+  n = ParseCount(ReadLineOrThrow(in, "fragments"), "fragments");
+  for (std::size_t i = 0; i < n; ++i) {
+    fields = DecodeFields(ReadLineOrThrow(in, "fragment"));
+    db::Row id;
+    id.reserve(fields.size());
+    for (const std::string& f : fields) id.push_back(DecodeTypedValue(f));
+    FragmentHandle handle = build.catalog.Intern(id);
+    if (handle != static_cast<FragmentHandle>(i)) {
+      throw IndexIoError("duplicate fragment identifier in index file");
+    }
+  }
+
+  n = ParseCount(ReadLineOrThrow(in, "keywords"), "keywords");
+  for (std::size_t i = 0; i < n; ++i) {
+    fields = DecodeFields(ReadLineOrThrow(in, "keyword postings"));
+    if (fields.empty()) throw IndexIoError("malformed keyword line");
+    for (std::size_t p = 1; p < fields.size(); ++p) {
+      auto colon = fields[p].find(':');
+      std::int64_t frag = 0, occ = 0;
+      if (colon == std::string::npos ||
+          !util::ParseInt64(std::string_view(fields[p]).substr(0, colon),
+                            &frag) ||
+          !util::ParseInt64(std::string_view(fields[p]).substr(colon + 1),
+                            &occ) ||
+          frag < 0 ||
+          static_cast<std::size_t>(frag) >= build.catalog.size() || occ <= 0) {
+        throw IndexIoError("malformed posting: " + fields[p]);
+      }
+      build.index.AddOccurrences(fields[0],
+                                 static_cast<FragmentHandle>(frag),
+                                 static_cast<std::uint32_t>(occ));
+    }
+  }
+  build.index.Finalize(&build.catalog);
+  // Identifiers were written in canonical (ascending) order, so handles
+  // are already canonical; no remap needed.
+  return DashEngine::FromParts(std::move(app), std::move(build));
+}
+
+DashEngine LoadEngineFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IndexIoError("cannot open '" + path + "' for reading");
+  return LoadEngine(in);
+}
+
+}  // namespace dash::core

@@ -1,0 +1,45 @@
+// Fragment-index persistence.
+//
+// A production search engine builds its index offline (here: the MapReduce
+// crawl) and serves queries from a loaded copy; this module provides the
+// serialization bridge. The format is a line-oriented, versioned text
+// format:
+//
+//   DASHIDX <version>
+//   app <name> <uri> <sql...>                (one tab-separated record)
+//   bindings <n>  +  n lines "field<TAB>parameter"
+//   fragments <n> +  n lines of typed identifier values
+//   keywords <n>  +  n lines "keyword<TAB>frag:occ<TAB>frag:occ..."
+//
+// Identifier values are self-describing ("i:10", "d:4.3", "s:American",
+// "n:"), so no external schema is needed to reload them. Loading
+// re-finalizes the index, which reconstructs keyword totals, content
+// hashes and the fragment graph.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/dash_engine.h"
+
+namespace dash::core {
+
+class IndexIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Serializes the engine's application info and fragment index. (The
+// fragment graph is derived state and is rebuilt on load.)
+void SaveEngine(const DashEngine& engine, std::ostream& out);
+void SaveEngineFile(const DashEngine& engine, const std::string& path);
+
+// Inverse of SaveEngine; throws IndexIoError on malformed input.
+DashEngine LoadEngine(std::istream& in);
+DashEngine LoadEngineFile(const std::string& path);
+
+// Lower-level helpers for typed values (exposed for tests).
+std::string EncodeTypedValue(const db::Value& v);
+db::Value DecodeTypedValue(const std::string& text);
+
+}  // namespace dash::core

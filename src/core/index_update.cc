@@ -1,0 +1,238 @@
+#include "core/index_update.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/string_util.h"
+#include "util/tokenizer.h"
+
+namespace dash::core {
+
+namespace {
+
+// Splits a qualified column name into its relation part.
+std::string_view RelationOf(std::string_view qualified) {
+  auto dot = qualified.find('.');
+  return dot == std::string_view::npos ? std::string_view{}
+                                       : qualified.substr(0, dot);
+}
+
+}  // namespace
+
+UpdatableIndex::UpdatableIndex(db::Database db, sql::PsjQuery query)
+    : db_(std::move(db)), query_(std::move(query)) {
+  crawler_ = std::make_unique<Crawler>(db_, query_);
+  for (const Fragment& frag : crawler_->DeriveFragments()) {
+    MirrorFragment mirror;
+    util::TokenCounter counter;
+    for (const db::Row& row : frag.rows) {
+      Crawler::CountRowKeywords(row, counter);
+    }
+    mirror.keyword_counts.insert(counter.counts().begin(),
+                                 counter.counts().end());
+    mirror.total_keywords = counter.total();
+    mirror.record_count = frag.rows.size();
+    fragments_.emplace(frag.id, std::move(mirror));
+  }
+}
+
+void UpdatableIndex::Insert(const std::string& relation, db::Row row) {
+  db_.mutable_table(relation).AddRow(row);
+  // Affected fragments are determined on the new state: every joined row
+  // the record now participates in carries an affected identifier.
+  RecomputeFragments(AffectedFragments(relation, row));
+  InvalidateSnapshot();
+}
+
+void UpdatableIndex::Delete(const std::string& relation, const db::Row& row) {
+  // Affected fragments are determined *before* removal: the joined rows the
+  // record participates in exist only in the old state.
+  std::set<db::Row> affected = AffectedFragments(relation, row);
+  if (!db_.mutable_table(relation).RemoveFirstMatch(row)) {
+    throw std::runtime_error("Delete: no matching row in '" + relation + "'");
+  }
+  RecomputeFragments(affected);
+  InvalidateSnapshot();
+}
+
+std::set<db::Row> UpdatableIndex::AffectedFragments(
+    const std::string& relation, const db::Row& row) const {
+  // Restrict every relation to the rows transitively joinable with `row`,
+  // walking the resolved join edges to a fixpoint. This touches only the
+  // changed record's join neighborhood, never the whole database.
+  std::map<std::string, std::vector<db::Row>> restricted;
+  restricted[relation] = {row};
+
+  auto edges = ResolvedJoinEdges(db_, *query_.from);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [left_col, right_col] : edges) {
+      for (bool flip : {false, true}) {
+        const std::string& from_col = flip ? right_col : left_col;
+        const std::string& to_col = flip ? left_col : right_col;
+        std::string from_rel(RelationOf(from_col));
+        std::string to_rel(RelationOf(to_col));
+        auto it = restricted.find(from_rel);
+        if (it == restricted.end() || restricted.contains(to_rel)) continue;
+        // Collect join values present on the restricted side...
+        std::unordered_set<db::Value, db::ValueHash> values;
+        int fi = db_.table(from_rel).schema().IndexOf(from_col);
+        for (const db::Row& r : it->second) {
+          const db::Value& v = r[static_cast<std::size_t>(fi)];
+          if (!v.is_null()) values.insert(v);
+        }
+        // ...and pull the matching rows of the other side.
+        const db::Table& to_table = db_.table(to_rel);
+        int ti = to_table.schema().IndexOf(to_col);
+        std::vector<db::Row> rows;
+        for (const db::Row& r : to_table.rows()) {
+          if (values.contains(r[static_cast<std::size_t>(ti)])) {
+            rows.push_back(r);
+          }
+        }
+        restricted.emplace(to_rel, std::move(rows));
+        changed = true;
+      }
+    }
+  }
+
+  // Evaluate the crawling query over the restricted slice; the fragment
+  // identifiers that appear are (a superset of) the affected ones.
+  db::Database slice;
+  for (const std::string& rel : query_.Relations()) {
+    db::Table t(rel, db_.table(rel).schema());
+    auto it = restricted.find(rel);
+    if (it != restricted.end()) {
+      for (const db::Row& r : it->second) t.AddRow(r);
+    }
+    slice.AddTable(std::move(t));
+  }
+  for (const db::ForeignKey& fk : db_.foreign_keys()) {
+    if (slice.HasTable(fk.from_table) && slice.HasTable(fk.to_table)) {
+      slice.AddForeignKey(fk);
+    }
+  }
+
+  std::set<db::Row> ids;
+  Crawler slice_crawler(slice, query_);
+  for (const Fragment& frag : slice_crawler.DeriveFragments()) {
+    ids.insert(frag.id);
+  }
+  return ids;
+}
+
+void UpdatableIndex::RecomputeFragments(const std::set<db::Row>& ids) {
+  if (ids.empty()) return;
+  fragments_recomputed_ += ids.size();
+  for (const db::Row& id : ids) fragments_.erase(id);
+
+  // Filter each relation owning selection attributes down to the affected
+  // identifier values; other relations join in full.
+  const auto& sel_cols = crawler_->selection_columns();
+  std::vector<std::unordered_set<db::Value, db::ValueHash>> value_sets(
+      sel_cols.size());
+  for (const db::Row& id : ids) {
+    for (std::size_t d = 0; d < sel_cols.size(); ++d) {
+      value_sets[d].insert(id[d]);
+    }
+  }
+
+  db::Database filtered;
+  for (const std::string& rel : query_.Relations()) {
+    const db::Table& table = db_.table(rel);
+    // Which canonical selection columns live in this relation?
+    std::vector<std::pair<int, std::size_t>> owned;  // (col idx, sel dim)
+    for (std::size_t d = 0; d < sel_cols.size(); ++d) {
+      if (auto idx = table.schema().Find(sel_cols[d])) {
+        owned.emplace_back(*idx, d);
+      }
+    }
+    if (owned.empty()) {
+      filtered.AddTable(table);
+      continue;
+    }
+    db::Table t(rel, table.schema());
+    for (const db::Row& r : table.rows()) {
+      bool keep = true;
+      for (const auto& [col, dim] : owned) {
+        if (!value_sets[dim].contains(r[static_cast<std::size_t>(col)])) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) t.AddRow(r);
+    }
+    filtered.AddTable(std::move(t));
+  }
+  for (const db::ForeignKey& fk : db_.foreign_keys()) {
+    if (filtered.HasTable(fk.from_table) && filtered.HasTable(fk.to_table)) {
+      filtered.AddForeignKey(fk);
+    }
+  }
+
+  Crawler filtered_crawler(filtered, query_);
+  for (const Fragment& frag : filtered_crawler.DeriveFragments()) {
+    // The per-attribute filters form a cross product; keep exactly the
+    // requested identifiers.
+    if (!ids.contains(frag.id)) continue;
+    MirrorFragment mirror;
+    util::TokenCounter counter;
+    for (const db::Row& row : frag.rows) {
+      Crawler::CountRowKeywords(row, counter);
+    }
+    mirror.keyword_counts.insert(counter.counts().begin(),
+                                 counter.counts().end());
+    mirror.total_keywords = counter.total();
+    mirror.record_count = frag.rows.size();
+    fragments_.emplace(frag.id, std::move(mirror));
+  }
+}
+
+void UpdatableIndex::InvalidateSnapshot() {
+  snapshot_.reset();
+  snapshot_graph_.reset();
+}
+
+FragmentIndexBuild UpdatableIndex::CopyBuild() const {
+  FragmentIndexBuild copy;
+  for (const auto& [id, mirror] : fragments_) {
+    FragmentHandle f = copy.catalog.Intern(id);
+    for (const auto& [keyword, count] : mirror.keyword_counts) {
+      copy.index.AddOccurrences(keyword, f,
+                                static_cast<std::uint32_t>(count));
+    }
+  }
+  copy.index.Finalize(&copy.catalog);
+  return copy;
+}
+
+const FragmentIndexBuild& UpdatableIndex::build() const {
+  if (!snapshot_) {
+    snapshot_ = std::make_unique<FragmentIndexBuild>();
+    // std::map iterates identifiers in ascending order, so interning here
+    // yields a canonical catalog directly.
+    for (const auto& [id, mirror] : fragments_) {
+      FragmentHandle f = snapshot_->catalog.Intern(id);
+      for (const auto& [keyword, count] : mirror.keyword_counts) {
+        snapshot_->index.AddOccurrences(keyword, f,
+                                        static_cast<std::uint32_t>(count));
+      }
+    }
+    snapshot_->index.Finalize(&snapshot_->catalog);
+  }
+  return *snapshot_;
+}
+
+const FragmentGraph& UpdatableIndex::graph() const {
+  if (!snapshot_graph_) {
+    const FragmentIndexBuild& b = build();
+    snapshot_graph_ = std::make_unique<FragmentGraph>(FragmentGraph::Build(
+        b.catalog, crawler_->num_eq_attributes(),
+        crawler_->num_range_attributes()));
+  }
+  return *snapshot_graph_;
+}
+
+}  // namespace dash::core

@@ -1,0 +1,139 @@
+#include "core/inverted_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dash::core {
+
+void InvertedFragmentIndex::AddOccurrences(std::string_view keyword,
+                                           FragmentHandle fragment,
+                                           std::uint32_t occurrences) {
+  if (finalized_) {
+    throw std::logic_error("AddOccurrences after Finalize");
+  }
+  if (occurrences == 0) return;
+  lists_[std::string(keyword)].push_back(Posting{fragment, occurrences});
+}
+
+void InvertedFragmentIndex::Finalize(FragmentCatalog* catalog) {
+  if (finalized_) throw std::logic_error("Finalize called twice");
+  for (auto& [keyword, list] : lists_) {
+    // Merge duplicate fragment entries accumulated across records/relations.
+    std::sort(list.begin(), list.end(),
+              [](const Posting& a, const Posting& b) {
+                return a.fragment < b.fragment;
+              });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < list.size();) {
+      Posting merged = list[i];
+      std::size_t j = i + 1;
+      while (j < list.size() && list[j].fragment == merged.fragment) {
+        merged.occurrences += list[j].occurrences;
+        ++j;
+      }
+      list[out++] = merged;
+      i = j;
+    }
+    list.resize(out);
+    // Inverted-list order: TF descending, handle ascending for determinism.
+    std::sort(list.begin(), list.end(),
+              [](const Posting& a, const Posting& b) {
+                if (a.occurrences != b.occurrences)
+                  return a.occurrences > b.occurrences;
+                return a.fragment < b.fragment;
+              });
+    if (catalog != nullptr) {
+      std::size_t kh = std::hash<std::string>()(keyword);
+      for (const Posting& p : list) {
+        catalog->AddKeywords(p.fragment, p.occurrences);
+        // Commutative (keyword, occurrences) fingerprint; see
+        // FragmentCatalog::MixContentHash.
+        std::uint64_t h = (kh ^ (kh >> 29)) * 0x9E3779B97F4A7C15ULL +
+                          p.occurrences;
+        catalog->MixContentHash(p.fragment, h * 0xBF58476D1CE4E5B9ULL);
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+void InvertedFragmentIndex::RemapFragments(
+    const std::vector<FragmentHandle>& mapping) {
+  for (auto& [keyword, list] : lists_) {
+    for (Posting& p : list) p.fragment = mapping[p.fragment];
+    // Re-apply the deterministic tiebreak under the new handles.
+    std::sort(list.begin(), list.end(),
+              [](const Posting& a, const Posting& b) {
+                if (a.occurrences != b.occurrences)
+                  return a.occurrences > b.occurrences;
+                return a.fragment < b.fragment;
+              });
+  }
+}
+
+std::span<const Posting> InvertedFragmentIndex::Lookup(
+    std::string_view keyword) const {
+  auto it = lists_.find(std::string(keyword));
+  if (it == lists_.end()) return {};
+  return it->second;
+}
+
+double InvertedFragmentIndex::Idf(std::string_view keyword) const {
+  std::size_t df = Df(keyword);
+  return df == 0 ? 0.0 : 1.0 / static_cast<double>(df);
+}
+
+std::size_t InvertedFragmentIndex::posting_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, list] : lists_) n += list.size();
+  return n;
+}
+
+std::size_t InvertedFragmentIndex::SizeBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [keyword, list] : lists_) {
+    bytes += keyword.size() + list.size() * sizeof(Posting);
+  }
+  return bytes;
+}
+
+std::vector<std::pair<std::string, std::size_t>>
+InvertedFragmentIndex::KeywordsByDf() const {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  out.reserve(lists_.size());
+  for (const auto& [keyword, list] : lists_) {
+    out.emplace_back(keyword, list.size());
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::string InvertedFragmentIndex::ToDebugString(
+    const FragmentCatalog& catalog, std::size_t max_keywords) const {
+  std::vector<std::string> keywords;
+  keywords.reserve(lists_.size());
+  for (const auto& [keyword, _] : lists_) keywords.push_back(keyword);
+  std::sort(keywords.begin(), keywords.end());
+  if (max_keywords != 0 && keywords.size() > max_keywords) {
+    keywords.resize(max_keywords);
+  }
+  std::string out;
+  for (const std::string& keyword : keywords) {
+    out += keyword;
+    out += " ->";
+    for (const Posting& p : Lookup(keyword)) {
+      out += " ";
+      out += FragmentIdToString(catalog.id(p.fragment));
+      out += ":";
+      out += std::to_string(p.occurrences);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dash::core

@@ -1,0 +1,79 @@
+// The inverted fragment index (paper Sections II and V, Figure 6).
+//
+// Structurally a conventional inverted file, but it indexes *fragment
+// identifiers* instead of page URLs: for each keyword w, a posting list of
+// (fragment, occurrences) sorted by occurrences descending, so high-TF
+// fragments sit at the head of the list and IDF_w falls out as the inverse
+// of the list length (Section VI's approximation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fragment.h"
+
+namespace dash::core {
+
+struct Posting {
+  FragmentHandle fragment = 0;
+  std::uint32_t occurrences = 0;
+
+  friend bool operator==(const Posting&, const Posting&) = default;
+};
+
+class InvertedFragmentIndex {
+ public:
+  // Accumulates occurrences of `keyword` in `fragment` (repeat calls for
+  // the same pair add up, matching MR consolidation semantics).
+  void AddOccurrences(std::string_view keyword, FragmentHandle fragment,
+                      std::uint32_t occurrences);
+
+  // Sorts every posting list (occurrences desc, fragment asc as the
+  // deterministic tiebreak), deduplicates accumulated pairs, and credits
+  // each fragment's keyword total in `catalog`. Must be called exactly once
+  // after the last AddOccurrences.
+  void Finalize(FragmentCatalog* catalog);
+
+  // Remaps fragment handles after FragmentCatalog::Canonicalize.
+  void RemapFragments(const std::vector<FragmentHandle>& mapping);
+
+  // Posting list for `keyword`; empty when absent. Valid after Finalize.
+  std::span<const Posting> Lookup(std::string_view keyword) const;
+
+  // Document frequency: number of fragments containing `keyword`.
+  std::size_t Df(std::string_view keyword) const {
+    return Lookup(keyword).size();
+  }
+
+  // IDF approximation of Section VI: 1 / df (0 for unknown keywords).
+  double Idf(std::string_view keyword) const;
+
+  std::size_t keyword_count() const { return lists_.size(); }
+  std::size_t posting_count() const;
+  std::size_t SizeBytes() const;
+
+  // All keywords with their document frequencies (used to derive the
+  // cold/warm/hot buckets of the evaluation).
+  std::vector<std::pair<std::string, std::size_t>> KeywordsByDf() const;
+
+  // Deterministic dump for cross-algorithm equality tests.
+  std::string ToDebugString(const FragmentCatalog& catalog,
+                            std::size_t max_keywords = 0) const;
+
+ private:
+  std::unordered_map<std::string, std::vector<Posting>> lists_;
+  bool finalized_ = false;
+};
+
+// A built fragment index: catalog + inverted index. The fragment graph is
+// built separately (its build time is Table IV's own experiment).
+struct FragmentIndexBuild {
+  FragmentCatalog catalog;
+  InvertedFragmentIndex index;
+};
+
+}  // namespace dash::core

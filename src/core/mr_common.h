@@ -1,0 +1,101 @@
+// Shared plumbing for the MapReduce crawl pipelines (Section V).
+//
+// Rows travel between jobs as tab-escaped text records with an attached
+// Schema so each job can locate columns by qualified name — the moral
+// equivalent of Hadoop jobs exchanging delimited files whose layout both
+// sides know. Join jobs follow the standard repartition-join idiom: inputs
+// are tagged "L"/"R" via the record key, mappers re-key by join value,
+// reducers cross-product the two sides.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "db/database.h"
+#include "db/ops.h"
+#include "mapreduce/cluster.h"
+#include "sql/psj_query.h"
+
+namespace dash::core {
+
+// A dataset with known column layout.
+struct MrTable {
+  mr::Dataset data;
+  db::Schema schema;
+};
+
+// Exports a catalog table into the cluster's input format (record key
+// empty, value = tab-escaped row) — the paper's "records ... exported from
+// a database to a MR cluster".
+MrTable ExportTable(const db::Table& table);
+
+// Parses one encoded row according to `schema`.
+db::Row ParseEncodedRow(const db::Schema& schema, const std::string& value);
+
+// Encodes a typed row (inverse of ParseEncodedRow).
+std::string EncodeRow(const db::Row& row);
+
+// One MR job joining `left` and `right` on left_col = right_col
+// (qualified names). `kind` kLeftOuter pads missing right columns with
+// NULL-encoding (empty fields). NULL join keys never match; with an outer
+// join, left rows with NULL keys are emitted padded.
+MrTable MrJoin(mr::Cluster& cluster, const std::string& job_name,
+               const MrTable& left, const MrTable& right,
+               const std::string& left_col, const std::string& right_col,
+               sql::JoinKind kind, int num_reduce_tasks);
+
+// Recursively evaluates a join tree with MR jobs, one per internal node
+// (the paper: "joins over three or more relations are performed through
+// several MR jobs"). `leaf` supplies each relation's input table — the full
+// export for the stepwise algorithm, the aggregated compact table for the
+// integrated one. ON columns absent from the query are resolved through
+// catalog foreign keys.
+MrTable MrJoinTree(mr::Cluster& cluster, const db::Database& db,
+                   const sql::JoinNode& node,
+                   const std::function<MrTable(const std::string&)>& leaf,
+                   int num_reduce_tasks, const std::string& job_prefix);
+
+// A named pipeline phase with its aggregated job metrics (the stacked-bar
+// segments of Figure 10: SW-Jn/SW-Grp/SW-Idx, INT-Jn/INT-Ext/INT-Cnsd).
+struct CrawlPhase {
+  std::string name;
+  mr::JobMetrics metrics;
+};
+
+// Sums cluster history entries [begin, end) into one named phase.
+CrawlPhase SnapshotPhase(const mr::Cluster& cluster, std::size_t begin,
+                         std::string name);
+
+// Final reducer of both crawl pipelines (SW-Idx reduce side / INT-Cnsd):
+// input values are (encoded fragment key, occurrences) pairs for one
+// keyword; output is one record per keyword holding the inverted list —
+// (frag, occ) pairs sorted by occurrences descending (Figure 6's layout).
+class InvertedListReducer : public mr::Reducer {
+ public:
+  void Reduce(const std::string& keyword,
+              const std::vector<std::string>& values,
+              mr::Emitter& out) override;
+};
+
+// Combiner for the same jobs: sums occurrences per fragment within one map
+// task's output, re-emitting the (fragment, occurrences) pair format. Cuts
+// the shuffle volume of the indexing phases the way Hadoop combiners do.
+class PostingCombiner : public mr::Reducer {
+ public:
+  void Reduce(const std::string& keyword,
+              const std::vector<std::string>& values,
+              mr::Emitter& out) override;
+};
+
+// Parses InvertedListReducer output records into `build->index`. Fragment
+// keys are decoded with `sel_schema` (the typed selection-attribute
+// layout); every fragment must already be interned in `build->catalog`.
+void ConsumeInvertedLists(const mr::Dataset& lists,
+                          const db::Schema& sel_schema,
+                          FragmentIndexBuild* build);
+
+// Finalizes the index, canonicalizes catalog handles and remaps postings.
+void FinalizeBuild(FragmentIndexBuild* build);
+
+}  // namespace dash::core

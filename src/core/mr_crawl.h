@@ -1,0 +1,49 @@
+// MapReduce database crawling and fragment indexing (paper Section V).
+//
+// Two algorithms build the same FragmentIndexBuild:
+//
+//  * StepwiseCrawl (Section V-A, Figure 7): join all operand relations
+//    (projection attributes and all — the "crawling query"), group joined
+//    records by selection-attribute values, then index each group as a
+//    document. Simple, but the wide joined rows are shuffled repeatedly.
+//
+//  * IntegratedCrawl (Section V-B, Figure 8): first aggregate each relation
+//    down to (selection attrs, join attrs, count theta) and join only those
+//    skinny tuples; then join each relation's projection text against the
+//    combined parameter relation R, replicating keyword occurrences by
+//    Theta_i = prod_x max(theta_x, 1) / theta_i; finally consolidate
+//    per-keyword occurrence lists. Projection text crosses the network
+//    exactly once.
+//
+// Both return per-phase metrics matching Figure 10's stacked bars
+// (SW-Jn / SW-Grp / SW-Idx and INT-Jn / INT-Ext / INT-Cnsd).
+#pragma once
+
+#include "core/crawler.h"
+#include "core/inverted_index.h"
+#include "core/mr_common.h"
+
+namespace dash::core {
+
+struct CrawlOptions {
+  int num_reduce_tasks = 4;
+};
+
+struct CrawlResult {
+  FragmentIndexBuild build;
+  std::vector<CrawlPhase> phases;
+
+  double TotalWallSec() const;
+  // Modeled cluster time under `cost` (sum over all jobs in all phases).
+  double ModeledSec(const mr::CostModel& cost) const;
+};
+
+CrawlResult StepwiseCrawl(mr::Cluster& cluster, const db::Database& db,
+                          const sql::PsjQuery& query,
+                          const CrawlOptions& options = {});
+
+CrawlResult IntegratedCrawl(mr::Cluster& cluster, const db::Database& db,
+                            const sql::PsjQuery& query,
+                            const CrawlOptions& options = {});
+
+}  // namespace dash::core

@@ -1,0 +1,70 @@
+#include "core/multi_app.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dash::core {
+
+void MultiAppEngine::AddApp(DashEngine engine) {
+  for (const DashEngine& e : engines_) {
+    if (e.app().name == engine.app().name) {
+      throw std::runtime_error("duplicate application '" + engine.app().name +
+                               "'");
+    }
+  }
+  engines_.push_back(std::move(engine));
+}
+
+const DashEngine& MultiAppEngine::app(std::string_view name) const {
+  for (const DashEngine& e : engines_) {
+    if (e.app().name == name) return e;
+  }
+  throw std::runtime_error("unknown application '" + std::string(name) + "'");
+}
+
+std::uint64_t MultiAppEngine::PageContentHash(const DashEngine& engine,
+                                              const SearchResult& result) {
+  std::uint64_t h = 0;
+  for (FragmentHandle f : result.fragments) {
+    h += engine.catalog().content_hash(f);  // commutative across fragments
+  }
+  return h;
+}
+
+std::vector<MultiAppResult> MultiAppEngine::Search(
+    const std::vector<std::string>& keywords, int k,
+    std::uint64_t min_page_words) const {
+  std::vector<MultiAppResult> merged;
+  for (const DashEngine& engine : engines_) {
+    for (SearchResult& r : engine.Search(keywords, k, min_page_words)) {
+      MultiAppResult m;
+      m.app = engine.app().name;
+      m.content_hash = PageContentHash(engine, r);
+      m.result = std::move(r);
+      merged.push_back(std::move(m));
+    }
+  }
+
+  std::sort(merged.begin(), merged.end(),
+            [](const MultiAppResult& a, const MultiAppResult& b) {
+              if (a.result.score != b.result.score) {
+                return a.result.score > b.result.score;
+              }
+              if (a.app != b.app) return a.app < b.app;
+              return a.result.url < b.result.url;
+            });
+
+  // Duplicate elimination: first (best-scored) page per content hash wins.
+  std::unordered_map<std::uint64_t, bool> seen;
+  std::vector<MultiAppResult> out;
+  for (MultiAppResult& m : merged) {
+    if (static_cast<int>(out.size()) >= k) break;
+    auto [it, inserted] = seen.emplace(m.content_hash, true);
+    (void)it;
+    if (inserted) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace dash::core

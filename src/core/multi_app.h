@@ -1,0 +1,54 @@
+// Multi-application search — the paper's second future-work item
+// (Section VIII): "multiple web applications would derive db-pages based on
+// some common contents from a database ... the contents of those db-pages
+// could still be overlapped. A new approach is demanded to eliminate
+// duplicate contents of db-pages from different web applications."
+//
+// MultiAppEngine federates one DashEngine per web application. A search
+// fans out to every engine, merges the per-app top-k lists by score, and
+// eliminates duplicate-content db-pages across applications using the
+// fragments' content fingerprints (FragmentCatalog::content_hash): two
+// reconstructed pages whose fragment keyword bags are identical — no
+// matter which application generates them or how its URL is spelled —
+// count as duplicates, and only the best-scored one survives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dash_engine.h"
+
+namespace dash::core {
+
+struct MultiAppResult {
+  std::string app;  // application (engine) name that produced the page
+  SearchResult result;
+  std::uint64_t content_hash = 0;
+};
+
+class MultiAppEngine {
+ public:
+  // Registers an application's engine. Names must be unique.
+  void AddApp(DashEngine engine);
+
+  std::size_t app_count() const { return engines_.size(); }
+  const DashEngine& app(std::string_view name) const;
+
+  // Top-k over all applications: each engine contributes its own top-k,
+  // duplicates (identical page content fingerprints) are collapsed keeping
+  // the highest-scored instance, and the best k survivors are returned in
+  // descending score order.
+  std::vector<MultiAppResult> Search(const std::vector<std::string>& keywords,
+                                     int k,
+                                     std::uint64_t min_page_words) const;
+
+  // Content fingerprint of a result page from `engine`: commutative
+  // combination of its fragments' content hashes.
+  static std::uint64_t PageContentHash(const DashEngine& engine,
+                                       const SearchResult& result);
+
+ private:
+  std::vector<DashEngine> engines_;
+};
+
+}  // namespace dash::core

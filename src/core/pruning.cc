@@ -1,0 +1,46 @@
+#include "core/pruning.h"
+
+namespace dash::core {
+
+FragmentIndexBuild PruneFragments(const FragmentIndexBuild& build,
+                                  std::uint64_t min_keywords,
+                                  PruneStats* stats) {
+  FragmentIndexBuild pruned;
+  std::vector<bool> keep(build.catalog.size());
+  // Interning in ascending handle order preserves canonical order (the
+  // kept subset of a sorted sequence is sorted).
+  std::vector<FragmentHandle> remap(build.catalog.size());
+  for (std::size_t f = 0; f < build.catalog.size(); ++f) {
+    auto handle = static_cast<FragmentHandle>(f);
+    keep[f] = build.catalog.keyword_total(handle) >= min_keywords;
+    if (keep[f]) {
+      remap[f] = pruned.catalog.Intern(build.catalog.id(handle));
+    }
+  }
+
+  std::size_t kept_keywords = 0, dropped_keywords = 0;
+  for (const auto& [keyword, df] : build.index.KeywordsByDf()) {
+    bool any = false;
+    for (const Posting& p : build.index.Lookup(keyword)) {
+      if (!keep[p.fragment]) continue;
+      pruned.index.AddOccurrences(keyword, remap[p.fragment], p.occurrences);
+      any = true;
+    }
+    (any ? kept_keywords : dropped_keywords) += 1;
+  }
+  pruned.index.Finalize(&pruned.catalog);
+
+  if (stats != nullptr) {
+    stats->kept_fragments = pruned.catalog.size();
+    stats->dropped_fragments = build.catalog.size() - pruned.catalog.size();
+    stats->kept_keywords = kept_keywords;
+    stats->dropped_keywords = dropped_keywords;
+    stats->index_bytes_before =
+        build.index.SizeBytes() + build.catalog.SizeBytes();
+    stats->index_bytes_after =
+        pruned.index.SizeBytes() + pruned.catalog.SizeBytes();
+  }
+  return pruned;
+}
+
+}  // namespace dash::core

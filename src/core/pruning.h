@@ -1,0 +1,42 @@
+// Crawl-scope / efficiency tradeoff — the paper's third future-work item
+// (Section VIII): "our discussion simply considered that all db-page
+// fragments are needed to be derived. There exists a tradeoff between (i)
+// the amount of db-page fragments to be collected and (ii) crawling and
+// index efficiency."
+//
+// PruneFragments drops fragments with fewer than `min_keywords` keywords
+// from a built index (the long tail of near-empty fragments that bloat the
+// catalog and graph while carrying almost no searchable content) and
+// reports what was given up. The ablation bench (bench_pruning) sweeps the
+// threshold to chart index size against keyword recall.
+#pragma once
+
+#include <cstdint>
+
+#include "core/inverted_index.h"
+
+namespace dash::core {
+
+struct PruneStats {
+  std::size_t kept_fragments = 0;
+  std::size_t dropped_fragments = 0;
+  std::size_t kept_keywords = 0;      // distinct keywords still indexed
+  std::size_t dropped_keywords = 0;   // distinct keywords lost entirely
+  std::size_t index_bytes_before = 0;
+  std::size_t index_bytes_after = 0;
+
+  double KeywordRecall() const {
+    std::size_t total = kept_keywords + dropped_keywords;
+    return total == 0 ? 1.0
+                      : static_cast<double>(kept_keywords) /
+                            static_cast<double>(total);
+  }
+};
+
+// Returns a new build containing only fragments with at least
+// `min_keywords` keywords. Handles stay canonical. `stats` is optional.
+FragmentIndexBuild PruneFragments(const FragmentIndexBuild& build,
+                                  std::uint64_t min_keywords,
+                                  PruneStats* stats = nullptr);
+
+}  // namespace dash::core

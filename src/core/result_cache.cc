@@ -1,0 +1,84 @@
+#include "core/result_cache.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+
+namespace dash::core {
+
+std::string ResultCache::MakeKey(const std::vector<std::string>& keywords,
+                                 int k, std::uint64_t min_page_words) {
+  // Keyword order must not matter ({"a","b"} == {"b","a"}).
+  std::vector<std::string> sorted = keywords;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.push_back("k=" + std::to_string(k));
+  sorted.push_back("s=" + std::to_string(min_page_words));
+  return util::EncodeFields(sorted);
+}
+
+std::optional<std::vector<SearchResult>> ResultCache::Lookup(
+    const std::vector<std::string>& keywords, int k,
+    std::uint64_t min_page_words) {
+  std::string key = MakeKey(keywords, k, min_page_words);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end() || it->second->generation != generation_) {
+    ++stats_.misses;
+    if (it != map_.end()) {  // stale entry from a previous generation
+      lru_.erase(it->second);
+      map_.erase(it);
+    }
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  return it->second->results;
+}
+
+void ResultCache::Insert(const std::vector<std::string>& keywords, int k,
+                         std::uint64_t min_page_words,
+                         std::vector<SearchResult> results) {
+  if (capacity_ == 0) return;
+  std::string key = MakeKey(keywords, k, min_page_words);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  lru_.push_front(Entry{key, generation_, std::move(results)});
+  map_[std::move(key)] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void ResultCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++generation_;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<SearchResult> CachingEngine::Search(
+    const std::vector<std::string>& keywords, int k,
+    std::uint64_t min_page_words) {
+  if (auto cached = cache_.Lookup(keywords, k, min_page_words)) {
+    return std::move(*cached);
+  }
+  std::vector<SearchResult> results =
+      engine_.Search(keywords, k, min_page_words);
+  cache_.Insert(keywords, k, min_page_words, results);
+  return results;
+}
+
+}  // namespace dash::core

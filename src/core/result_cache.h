@@ -1,0 +1,91 @@
+// Query-result cache for the serving path.
+//
+// Search engines answer a heavily skewed query distribution; caching the
+// (keywords, k, s) -> results mapping short-circuits repeated hot queries.
+// An LRU policy bounds memory, and a generation counter ties cache
+// validity to the index: bumping the generation (after an incremental
+// update or an index swap) invalidates everything at once without
+// touching entries.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dash_engine.h"
+
+namespace dash::core {
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    double HitRate() const {
+      std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  // Returns the cached results for this query, or nullopt. Thread-safe.
+  std::optional<std::vector<SearchResult>> Lookup(
+      const std::vector<std::string>& keywords, int k,
+      std::uint64_t min_page_words);
+
+  // Stores results for this query (evicting the least recently used entry
+  // beyond capacity). Thread-safe.
+  void Insert(const std::vector<std::string>& keywords, int k,
+              std::uint64_t min_page_words, std::vector<SearchResult> results);
+
+  // Invalidates every entry (call after the index changes).
+  void Invalidate();
+
+  std::size_t size() const;
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::uint64_t generation;
+    std::vector<SearchResult> results;
+  };
+
+  static std::string MakeKey(const std::vector<std::string>& keywords, int k,
+                             std::uint64_t min_page_words);
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::uint64_t generation_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  Stats stats_;
+};
+
+// A DashEngine paired with a ResultCache: the drop-in serving wrapper.
+class CachingEngine {
+ public:
+  CachingEngine(const DashEngine& engine, std::size_t cache_capacity)
+      : engine_(engine), cache_(cache_capacity) {}
+
+  std::vector<SearchResult> Search(const std::vector<std::string>& keywords,
+                                   int k, std::uint64_t min_page_words);
+
+  // Call when the underlying engine's index has been swapped/updated.
+  void OnIndexChanged() { cache_.Invalidate(); }
+
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  const DashEngine& engine_;
+  ResultCache cache_;
+};
+
+}  // namespace dash::core

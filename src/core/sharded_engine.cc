@@ -1,0 +1,111 @@
+#include "core/sharded_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace dash::core {
+
+namespace {
+
+// Shard assignment: hash of the equality-value prefix, so whole equality
+// groups stay together (with no equality attributes there is one group and
+// sharding degenerates to a single non-empty shard, which is correct: the
+// group cannot be split without breaking page assembly).
+std::size_t ShardOf(const db::Row& id, std::size_t num_eq,
+                    std::size_t num_shards) {
+  std::size_t h = 1469598103934665603ULL;
+  for (std::size_t d = 0; d < num_eq; ++d) {
+    h ^= id[d].Hash();
+    h *= 1099511628211ULL;
+  }
+  return h % num_shards;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(webapp::WebAppInfo app, FragmentIndexBuild build,
+                             int num_shards) {
+  if (num_shards < 1) {
+    throw std::invalid_argument("need at least one shard");
+  }
+  std::size_t num_eq = 0;
+  for (const sql::SelectionAttribute& a : app.query.SelectionAttributes()) {
+    if (!a.is_range) ++num_eq;
+  }
+
+  // Route each fragment to its shard; ascending handle order keeps every
+  // shard catalog canonical.
+  const std::size_t n = static_cast<std::size_t>(num_shards);
+  std::vector<FragmentIndexBuild> parts(n);
+  std::vector<std::pair<std::size_t, FragmentHandle>> route(
+      build.catalog.size());
+  for (std::size_t f = 0; f < build.catalog.size(); ++f) {
+    auto handle = static_cast<FragmentHandle>(f);
+    std::size_t shard = ShardOf(build.catalog.id(handle), num_eq, n);
+    route[f] = {shard, parts[shard].catalog.Intern(build.catalog.id(handle))};
+  }
+  for (const auto& [keyword, df] : build.index.KeywordsByDf()) {
+    global_df_[keyword] = df;
+    for (const Posting& p : build.index.Lookup(keyword)) {
+      auto [shard, local] = route[p.fragment];
+      parts[shard].index.AddOccurrences(keyword, local, p.occurrences);
+    }
+  }
+  shards_.reserve(n);
+  for (FragmentIndexBuild& part : parts) {
+    part.index.Finalize(&part.catalog);
+    shards_.push_back(DashEngine::FromParts(app, std::move(part)));
+  }
+}
+
+std::size_t ShardedEngine::fragment_count() const {
+  std::size_t total = 0;
+  for (const DashEngine& shard : shards_) total += shard.catalog().size();
+  return total;
+}
+
+std::vector<SearchResult> ShardedEngine::Search(
+    const std::vector<std::string>& keywords, int k,
+    std::uint64_t min_page_words) const {
+  // Globally consistent IDF from the partition-time document frequencies.
+  IdfProvider idf = [this](const std::string& keyword) {
+    auto it = global_df_.find(keyword);
+    return it == global_df_.end() || it->second == 0
+               ? 0.0
+               : 1.0 / static_cast<double>(it->second);
+  };
+
+  // Scatter: every shard computes its local top-k with global scoring, in
+  // parallel (each shard's index is independent and searching is const).
+  std::vector<std::vector<SearchResult>> per_shard(shards_.size());
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      workers.emplace_back([&, s] {
+        const DashEngine& shard = shards_[s];
+        TopKSearcher searcher(shard.index(), shard.catalog(), shard.graph(),
+                              shard.selection(), &shard.app(), idf);
+        per_shard[s] = searcher.Search(keywords, k, min_page_words);
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  std::vector<SearchResult> merged;
+  for (std::vector<SearchResult>& results : per_shard) {
+    for (SearchResult& r : results) merged.push_back(std::move(r));
+  }
+  // Gather: merge by score (ties: URL, for determinism) and keep k.
+  std::sort(merged.begin(), merged.end(),
+            [](const SearchResult& a, const SearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.url < b.url;
+            });
+  if (k >= 0 && merged.size() > static_cast<std::size_t>(k)) {
+    merged.resize(static_cast<std::size_t>(k));
+  }
+  return merged;
+}
+
+}  // namespace dash::core

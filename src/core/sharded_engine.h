@@ -1,0 +1,54 @@
+// Sharded serving of the fragment index — scatter-gather top-k.
+//
+// Dash is built for cluster deployment (its crawl/index pipelines are
+// MapReduce jobs); this is the serving-side counterpart: the fragment
+// index partitioned across N shards so each node holds and searches a
+// slice.
+//
+// Partitioning is by *equality group*: fragments sharing an equality-value
+// prefix are assigned to the same shard (hash of the prefix modulo N).
+// That invariant is what makes sharding faithful — a db-page can only
+// combine fragments within one equality group (Section VI-A), so every
+// candidate page is assembled entirely inside a single shard, and merging
+// the per-shard top-k lists by score reproduces the global top-k (exactly
+// so whenever page scores are monotone under expansion; see the
+// monotonicity note in topk_search.h for the edge case).
+//
+// Scores stay globally comparable because every shard scores with the
+// *global* document frequencies (captured at partitioning time), not its
+// local ones — the standard distributed-IR correction.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dash_engine.h"
+
+namespace dash::core {
+
+class ShardedEngine {
+ public:
+  // Partitions `build` into `num_shards` shards. The app info is shared by
+  // all shards (URL formulation is shard-independent).
+  ShardedEngine(webapp::WebAppInfo app, FragmentIndexBuild build,
+                int num_shards);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  const DashEngine& shard(std::size_t i) const { return shards_[i]; }
+
+  // Exact global top-k: scatter to all shards, gather, merge by score.
+  std::vector<SearchResult> Search(const std::vector<std::string>& keywords,
+                                   int k,
+                                   std::uint64_t min_page_words) const;
+
+  // Total fragments across shards (== the input build's catalog size).
+  std::size_t fragment_count() const;
+
+ private:
+  std::vector<DashEngine> shards_;
+  // Global keyword -> document frequency, for cross-shard-consistent IDF.
+  std::unordered_map<std::string, std::size_t> global_df_;
+};
+
+}  // namespace dash::core

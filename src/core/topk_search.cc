@@ -1,0 +1,302 @@
+#include "core/topk_search.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "util/tokenizer.h"
+
+namespace dash::core {
+
+namespace {
+
+// A pending db-page in the priority queue (expanded entries only; seeds —
+// single-fragment pages — stay in a lightweight sorted array and are
+// materialized lazily, which keeps hot-keyword queries with tens of
+// thousands of relevant fragments cheap).
+struct Entry {
+  std::vector<FragmentHandle> members;   // ascending
+  std::vector<std::uint64_t> occ;        // per queried keyword
+  std::uint64_t words = 0;
+  double score = 0;
+};
+
+// Queue order: score descending; ties broken by smaller member list
+// (lexicographically) so runs are deterministic.
+struct EntryLess {
+  bool operator()(const Entry& a, const Entry& b) const {
+    if (a.score != b.score) return a.score < b.score;
+    return a.members > b.members;
+  }
+};
+
+std::string MemberKey(const std::vector<FragmentHandle>& members) {
+  std::string key;
+  key.reserve(members.size() * sizeof(FragmentHandle));
+  for (FragmentHandle m : members) {
+    key.append(reinterpret_cast<const char*>(&m), sizeof(m));
+  }
+  return key;
+}
+
+// One query term's postings re-sorted by fragment handle for O(log df)
+// occurrence lookups during expansion scoring.
+struct TermPostings {
+  double idf = 0;
+  std::vector<Posting> by_frag;  // sorted by fragment
+
+  std::uint32_t OccurrencesIn(FragmentHandle f) const {
+    auto it = std::lower_bound(
+        by_frag.begin(), by_frag.end(), f,
+        [](const Posting& p, FragmentHandle h) { return p.fragment < h; });
+    if (it == by_frag.end() || it->fragment != f) return 0;
+    return it->occurrences;
+  }
+};
+
+// A not-yet-materialized single-fragment entry.
+struct Seed {
+  double score = 0;
+  FragmentHandle fragment = 0;
+};
+
+}  // namespace
+
+TopKSearcher::TopKSearcher(const InvertedFragmentIndex& index,
+                           const FragmentCatalog& catalog,
+                           const FragmentGraph& graph,
+                           std::vector<sql::SelectionAttribute> selection,
+                           const webapp::WebAppInfo* app, IdfProvider idf)
+    : index_(index),
+      catalog_(catalog),
+      graph_(graph),
+      selection_(std::move(selection)),
+      app_(app),
+      idf_(std::move(idf)) {}
+
+std::vector<SearchResult> TopKSearcher::Search(
+    const std::vector<std::string>& keywords, int k,
+    std::uint64_t min_page_words, std::size_t max_seeds) const {
+  // Normalize the query with the indexing tokenizer and drop duplicates.
+  std::vector<std::string> terms;
+  for (const std::string& raw : keywords) {
+    for (std::string& tok : util::Tokenize(raw)) {
+      if (std::find(terms.begin(), terms.end(), tok) == terms.end()) {
+        terms.push_back(std::move(tok));
+      }
+    }
+  }
+  std::vector<SearchResult> results;
+  if (terms.empty() || k <= 0) return results;
+
+  // Per-term IDF and fragment-sorted postings (line 1 of Algorithm 1).
+  std::vector<TermPostings> postings(terms.size());
+  std::vector<FragmentHandle> relevant;
+  for (std::size_t t = 0; t < terms.size(); ++t) {
+    postings[t].idf = idf_ ? idf_(terms[t]) : index_.Idf(terms[t]);
+    auto list = index_.Lookup(terms[t]);
+    postings[t].by_frag.assign(list.begin(), list.end());
+    std::sort(postings[t].by_frag.begin(), postings[t].by_frag.end(),
+              [](const Posting& a, const Posting& b) {
+                return a.fragment < b.fragment;
+              });
+    for (const Posting& p : postings[t].by_frag) {
+      relevant.push_back(p.fragment);
+    }
+  }
+  std::sort(relevant.begin(), relevant.end());
+  relevant.erase(std::unique(relevant.begin(), relevant.end()),
+                 relevant.end());
+
+  auto score_of = [&postings](const std::vector<std::uint64_t>& occ,
+                              std::uint64_t words) {
+    if (words == 0) return 0.0;
+    double score = 0;
+    for (std::size_t t = 0; t < occ.size(); ++t) {
+      score += postings[t].idf * static_cast<double>(occ[t]) /
+               static_cast<double>(words);
+    }
+    return score;
+  };
+
+  // Seed list: one prospective entry per relevant fragment (line 2),
+  // sorted by score descending (ties: smaller handle first, matching
+  // EntryLess on single-member lists).
+  std::vector<Seed> seeds;
+  seeds.reserve(relevant.size());
+  std::vector<std::uint64_t> seed_occ(terms.size());
+  for (FragmentHandle f : relevant) {
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+      seed_occ[t] = postings[t].OccurrencesIn(f);
+    }
+    seeds.push_back(Seed{score_of(seed_occ, catalog_.keyword_total(f)), f});
+  }
+  std::sort(seeds.begin(), seeds.end(), [](const Seed& a, const Seed& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.fragment < b.fragment;
+  });
+  if (max_seeds > 0 && seeds.size() > max_seeds) {
+    seeds.resize(max_seeds);  // search-scope cap; see header
+  }
+
+  auto materialize = [&](const Seed& seed) {
+    Entry e;
+    e.members = {seed.fragment};
+    e.occ.resize(terms.size());
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+      e.occ[t] = postings[t].OccurrencesIn(seed.fragment);
+    }
+    e.words = catalog_.keyword_total(seed.fragment);
+    e.score = seed.score;
+    return e;
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, EntryLess> queue;
+  std::unordered_set<FragmentHandle> consumed;  // seeds absorbed by merges
+  std::unordered_set<std::string> visited;      // expanded sets already queued
+  std::unordered_set<FragmentHandle> used;      // fragments already output
+  std::size_t next_seed = 0;
+
+  while (static_cast<int>(results.size()) < k) {
+    // Dequeue the globally best pending entry: compare the best unpopped
+    // seed with the top of the expanded-entry queue.
+    while (next_seed < seeds.size() &&
+           consumed.contains(seeds[next_seed].fragment)) {
+      ++next_seed;  // "removed from Q" by an earlier expansion
+    }
+    Entry head;
+    if (next_seed < seeds.size() &&
+        (queue.empty() || seeds[next_seed].score > queue.top().score ||
+         (seeds[next_seed].score == queue.top().score &&
+          std::vector<FragmentHandle>{seeds[next_seed].fragment} <
+              queue.top().members))) {
+      head = materialize(seeds[next_seed]);
+      ++next_seed;
+    } else if (!queue.empty()) {
+      head = queue.top();
+      queue.pop();
+    } else {
+      break;  // Q exhausted
+    }
+
+    // Db-pages sharing fragments with an already-returned page "for sure
+    // have overlapped contents, and they can be easily identified to be
+    // excluded from search results" (paper Section IV).
+    bool overlaps_output = false;
+    for (FragmentHandle m : head.members) {
+      if (used.contains(m)) {
+        overlaps_output = true;
+        break;
+      }
+    }
+    if (overlaps_output) continue;
+
+    // Candidate neighbors (fragment graph) not already in the page.
+    std::vector<FragmentHandle> candidates;
+    if (head.words < min_page_words) {
+      for (FragmentHandle m : head.members) {
+        for (FragmentHandle n : graph_.Neighbors(m)) {
+          if (!std::binary_search(head.members.begin(), head.members.end(),
+                                  n) &&
+              std::find(candidates.begin(), candidates.end(), n) ==
+                  candidates.end()) {
+            candidates.push_back(n);
+          }
+        }
+      }
+    }
+
+    if (candidates.empty()) {
+      // Not expandable (size reached or no fragments available): output.
+      SearchResult r;
+      r.fragments = head.members;
+      r.score = head.score;
+      r.size_words = head.words;
+      // Reverse query string parsing: equality values from the identifier
+      // prefix, range bounds from the min/max over the member fragments.
+      const db::Row& first = catalog_.id(head.members.front());
+      for (std::size_t d = 0; d < selection_.size(); ++d) {
+        const sql::SelectionAttribute& attr = selection_[d];
+        if (!attr.is_range) {
+          r.params[attr.eq_parameter] = first[d].ToString();
+          continue;
+        }
+        db::Value lo = first[d], hi = first[d];
+        for (FragmentHandle m : head.members) {
+          const db::Value& v = catalog_.id(m)[d];
+          if (v < lo) lo = v;
+          if (hi < v) hi = v;
+        }
+        if (!attr.min_parameter.empty()) {
+          r.params[attr.min_parameter] = lo.ToString();
+        }
+        if (!attr.max_parameter.empty()) {
+          r.params[attr.max_parameter] = hi.ToString();
+        }
+      }
+      if (app_ != nullptr) {
+        std::map<std::string, std::string> url_params(r.params.begin(),
+                                                      r.params.end());
+        r.url = app_->UrlFor(url_params);
+      }
+      for (FragmentHandle m : head.members) used.insert(m);
+      results.push_back(std::move(r));
+      continue;
+    }
+
+    // Expand by the best single neighbor, favoring relevant fragments
+    // ("whenever possible, relevant db-page fragments are favored").
+    bool best_relevant = false;
+    double best_score = -1;
+    FragmentHandle best = 0;
+    std::vector<std::uint64_t> best_occ;
+    std::uint64_t best_words = 0;
+    bool have_best = false;
+    for (FragmentHandle c : candidates) {
+      std::vector<std::uint64_t> occ = head.occ;
+      bool is_relevant = false;
+      for (std::size_t t = 0; t < terms.size(); ++t) {
+        std::uint32_t o = postings[t].OccurrencesIn(c);
+        if (o != 0) {
+          occ[t] += o;
+          is_relevant = true;
+        }
+      }
+      std::uint64_t words = head.words + catalog_.keyword_total(c);
+      double score = score_of(occ, words);
+      bool better;
+      if (is_relevant != best_relevant) {
+        better = is_relevant;
+      } else if (score != best_score) {
+        better = score > best_score;
+      } else {
+        better = c < best;
+      }
+      if (!have_best || better) {
+        have_best = true;
+        best_relevant = is_relevant;
+        best_score = score;
+        best = c;
+        best_occ = std::move(occ);
+        best_words = words;
+      }
+    }
+
+    Entry expanded;
+    expanded.members = head.members;
+    expanded.members.insert(
+        std::upper_bound(expanded.members.begin(), expanded.members.end(),
+                         best),
+        best);
+    expanded.occ = std::move(best_occ);
+    expanded.words = best_words;
+    expanded.score = best_score;
+    if (best_relevant) consumed.insert(best);
+    if (visited.insert(MemberKey(expanded.members)).second) {
+      queue.push(std::move(expanded));
+    }
+  }
+  return results;
+}
+
+}  // namespace dash::core

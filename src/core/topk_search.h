@@ -1,0 +1,91 @@
+// Top-k db-page search (paper Section VI-B, Algorithm 1).
+//
+// Seeds a priority queue with the fragments relevant to the queried
+// keywords (from the inverted fragment index), repeatedly dequeues the
+// highest-scoring pending db-page, and either outputs it (when it is not
+// expandable: already >= the size threshold s, or out of neighbors) or
+// expands it by one fragment along the fragment graph, favoring relevant
+// fragments. Relevant fragments absorbed by an expansion are removed from
+// the queue. The URLs of output pages are formulated by reverse query
+// string parsing (the page's equality values + the min/max of its range
+// values).
+//
+// Scoring follows the paper's modified TF/IDF: for queried keywords W,
+//   score(p) = sum_{w in W} (occurrences of w in p / total words of p)
+//              * IDF_w,  with IDF_w = 1 / (number of fragments containing w).
+// Example 7's arithmetic (TF 2/8 -> 3/25 after a merge) is reproduced
+// exactly by this formula.
+//
+// Note on the paper's monotonicity claim: expanding a page "due to
+// additional text" is said never to raise its score. With size-normalized
+// TF a *relevant* neighbor can in fact raise it; the best-first queue
+// handles that naturally (the expansion re-enters the queue with its new
+// score), making the result list best-effort top-k exactly as published.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/fragment_graph.h"
+#include "core/inverted_index.h"
+#include "sql/psj_query.h"
+#include "webapp/query_string.h"
+
+namespace dash::core {
+
+struct SearchResult {
+  std::vector<FragmentHandle> fragments;  // ascending handles
+  double score = 0;
+  std::uint64_t size_words = 0;
+  // Concrete parameter values of the reconstructed db-page (parameter name
+  // -> value text); range parameters carry the min/max over the fragments.
+  std::map<std::string, std::string> params;
+  // Full URL when the searcher was given a WebAppInfo; empty otherwise.
+  std::string url;
+};
+
+// Supplies IDF values; lets a sharded deployment score with *global*
+// document frequencies while searching a shard-local index (per-shard df
+// would make scores incomparable across shards).
+using IdfProvider = std::function<double(const std::string& keyword)>;
+
+class TopKSearcher {
+ public:
+  // All referenced objects must outlive the searcher. `app` may be null
+  // (no URL formulation). `selection` must match the catalog's identifier
+  // layout (Crawler::selection()). `idf` overrides the index's own IDF
+  // when provided.
+  TopKSearcher(const InvertedFragmentIndex& index,
+               const FragmentCatalog& catalog, const FragmentGraph& graph,
+               std::vector<sql::SelectionAttribute> selection,
+               const webapp::WebAppInfo* app = nullptr,
+               IdfProvider idf = nullptr);
+
+  // Returns at most k db-pages relevant to `keywords` (each input string
+  // is tokenized with the indexing tokenizer, so "Burger Experts" queries
+  // two keywords). `min_page_words` is the paper's size threshold s.
+  //
+  // `max_seeds` caps the number of relevant fragments seeded into the
+  // queue (0 = all, the paper's Algorithm 1). Hot keywords can match a
+  // large share of all fragments; keeping only the top-scored seeds bounds
+  // query latency — the search-time analog of the crawl-scope tradeoff —
+  // while expansion may still absorb unseeded relevant fragments. With
+  // max_seeds >= the df of every queried keyword the results are
+  // unchanged.
+  std::vector<SearchResult> Search(const std::vector<std::string>& keywords,
+                                   int k, std::uint64_t min_page_words,
+                                   std::size_t max_seeds = 0) const;
+
+ private:
+  const InvertedFragmentIndex& index_;
+  const FragmentCatalog& catalog_;
+  const FragmentGraph& graph_;
+  std::vector<sql::SelectionAttribute> selection_;
+  const webapp::WebAppInfo* app_;
+  IdfProvider idf_;
+};
+
+}  // namespace dash::core

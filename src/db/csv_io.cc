@@ -1,0 +1,116 @@
+#include "db/csv_io.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace dash::db {
+
+namespace {
+
+ValueType ParseType(std::string_view name) {
+  if (name == "int") return ValueType::kInt;
+  if (name == "double") return ValueType::kDouble;
+  if (name == "string") return ValueType::kString;
+  if (name == "null") return ValueType::kNull;
+  throw CsvIoError("unknown column type '" + std::string(name) + "'");
+}
+
+}  // namespace
+
+void SaveTable(const Table& table, std::ostream& out) {
+  std::vector<std::string> header;
+  header.push_back(table.name());
+  for (const Column& c : table.schema().columns()) {
+    header.push_back(c.name + ":" + std::string(ValueTypeName(c.type)));
+  }
+  out << util::EncodeFields(header) << "\n";
+  for (const std::string& line : table.ExportRows()) {
+    out << line << "\n";
+  }
+}
+
+Table LoadTable(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw CsvIoError("empty table file");
+  }
+  std::vector<std::string> header = util::DecodeFields(line);
+  if (header.size() < 2) {
+    throw CsvIoError("malformed table header: " + line);
+  }
+  std::string name = header[0];
+  Schema schema;
+  for (std::size_t i = 1; i < header.size(); ++i) {
+    auto colon = header[i].rfind(':');
+    if (colon == std::string::npos) {
+      throw CsvIoError("malformed column spec '" + header[i] + "'");
+    }
+    schema.AddColumn(Column{name, header[i].substr(0, colon),
+                            ParseType(std::string_view(header[i]).substr(
+                                colon + 1))});
+  }
+  Table table(std::move(name), std::move(schema));
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    table.AddRow(table.ParseRow(line));
+  }
+  return table;
+}
+
+void SaveDatabase(const Database& db, const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) {
+    throw CsvIoError("'" + dir + "' is not a directory");
+  }
+  for (const std::string& name : db.TableNames()) {
+    std::ofstream out(fs::path(dir) / (name + ".tbl"), std::ios::trunc);
+    if (!out) throw CsvIoError("cannot write table '" + name + "'");
+    SaveTable(db.table(name), out);
+  }
+  std::ofstream catalog(fs::path(dir) / "_catalog", std::ios::trunc);
+  if (!catalog) throw CsvIoError("cannot write catalog");
+  for (const ForeignKey& fk : db.foreign_keys()) {
+    catalog << util::EncodeFields(std::vector<std::string>{
+                   fk.from_table, fk.from_column, fk.to_table, fk.to_column})
+            << "\n";
+  }
+}
+
+Database LoadDatabase(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) {
+    throw CsvIoError("'" + dir + "' is not a directory");
+  }
+  Database db;
+  std::vector<fs::path> tables;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".tbl") tables.push_back(entry.path());
+  }
+  std::sort(tables.begin(), tables.end());
+  for (const fs::path& path : tables) {
+    std::ifstream in(path);
+    if (!in) throw CsvIoError("cannot read '" + path.string() + "'");
+    db.AddTable(LoadTable(in));
+  }
+  std::ifstream catalog(fs::path(dir) / "_catalog");
+  if (catalog) {
+    std::string line;
+    while (std::getline(catalog, line)) {
+      if (line.empty()) continue;
+      std::vector<std::string> fields = util::DecodeFields(line);
+      if (fields.size() != 4) {
+        throw CsvIoError("malformed foreign key line: " + line);
+      }
+      db.AddForeignKey({fields[0], fields[1], fields[2], fields[3]});
+    }
+  }
+  return db;
+}
+
+}  // namespace dash::db

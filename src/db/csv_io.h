@@ -1,0 +1,35 @@
+// Table and database persistence as delimited text files.
+//
+// A deployment of Dash crawls a *customer's* database; this module is the
+// loading dock — tables round-trip through a simple self-describing format
+// (one header line "relation<TAB>col:type..." followed by tab-escaped
+// rows), and a whole database is a directory of `<table>.tbl` files plus a
+// `_catalog` file carrying the foreign keys.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "db/database.h"
+
+namespace dash::db {
+
+class CsvIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Writes one table (header + rows).
+void SaveTable(const Table& table, std::ostream& out);
+
+// Reads one table; throws CsvIoError on malformed input.
+Table LoadTable(std::istream& in);
+
+// Saves every table to `<dir>/<name>.tbl` and the foreign keys to
+// `<dir>/_catalog`. The directory must exist.
+void SaveDatabase(const Database& db, const std::string& dir);
+
+// Inverse of SaveDatabase.
+Database LoadDatabase(const std::string& dir);
+
+}  // namespace dash::db

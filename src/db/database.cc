@@ -1,0 +1,72 @@
+#include "db/database.h"
+
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace dash::db {
+
+Table& Database::AddTable(Table table) {
+  std::string name = table.name();
+  auto [it, inserted] = tables_.emplace(name, std::move(table));
+  if (!inserted) {
+    throw std::runtime_error("duplicate table '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Database::HasTable(std::string_view name) const {
+  return tables_.find(name) != tables_.end();
+}
+
+const Table& Database::table(std::string_view name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::runtime_error("unknown table '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+Table& Database::mutable_table(std::string_view name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::runtime_error("unknown table '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+void Database::AddForeignKey(ForeignKey fk) {
+  if (!HasTable(fk.from_table) || !HasTable(fk.to_table)) {
+    throw std::runtime_error("foreign key references unknown table: " +
+                             fk.from_table + " -> " + fk.to_table);
+  }
+  // Validate the columns exist up front so later joins cannot fail lazily.
+  (void)table(fk.from_table).schema().IndexOf(fk.from_column);
+  (void)table(fk.to_table).schema().IndexOf(fk.to_column);
+  fks_.push_back(std::move(fk));
+}
+
+std::pair<std::string, std::string> Database::JoinColumns(
+    std::string_view left_table, std::string_view right_table) const {
+  for (const ForeignKey& fk : fks_) {
+    if (util::EqualsIgnoreCase(fk.from_table, left_table) &&
+        util::EqualsIgnoreCase(fk.to_table, right_table)) {
+      return {fk.from_column, fk.to_column};
+    }
+    if (util::EqualsIgnoreCase(fk.from_table, right_table) &&
+        util::EqualsIgnoreCase(fk.to_table, left_table)) {
+      return {fk.to_column, fk.from_column};
+    }
+  }
+  throw std::runtime_error("no foreign key links '" + std::string(left_table) +
+                           "' and '" + std::string(right_table) + "'");
+}
+
+}  // namespace dash::db

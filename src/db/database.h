@@ -1,0 +1,50 @@
+// Database catalog: named tables plus foreign-key metadata.
+//
+// Foreign keys matter to Dash twice: the servlet SQL in the paper joins
+// relations without ON clauses (the join condition is implied by the FK,
+// e.g. comment.rid -> restaurant.rid), and the DISCOVER-style baseline walks
+// FK links to join keyword-matching records.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/table.h"
+
+namespace dash::db {
+
+struct ForeignKey {
+  std::string from_table;
+  std::string from_column;
+  std::string to_table;  // referenced (primary-key side)
+  std::string to_column;
+};
+
+class Database {
+ public:
+  // Adds a table; throws std::runtime_error on duplicate name.
+  Table& AddTable(Table table);
+
+  bool HasTable(std::string_view name) const;
+  const Table& table(std::string_view name) const;
+  Table& mutable_table(std::string_view name);
+
+  std::vector<std::string> TableNames() const;
+
+  void AddForeignKey(ForeignKey fk);
+  const std::vector<ForeignKey>& foreign_keys() const { return fks_; }
+
+  // Finds the FK-implied join columns between two tables, in either
+  // direction. Returns {left_column, right_column} as names resolvable in
+  // the respective tables' schemas; throws if no FK links them.
+  std::pair<std::string, std::string> JoinColumns(
+      std::string_view left_table, std::string_view right_table) const;
+
+ private:
+  std::map<std::string, Table, std::less<>> tables_;
+  std::vector<ForeignKey> fks_;
+};
+
+}  // namespace dash::db

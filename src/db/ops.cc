@@ -1,0 +1,199 @@
+#include "db/ops.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace dash::db {
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kLe:
+      return "<=";
+  }
+  return "?";
+}
+
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  auto cmp = lhs <=> rhs;
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == std::strong_ordering::equal;
+    case CompareOp::kGe:
+      return cmp != std::strong_ordering::less;
+    case CompareOp::kLe:
+      return cmp != std::strong_ordering::greater;
+  }
+  return false;
+}
+
+Table HashJoin(const Table& left, const Table& right,
+               std::string_view left_col, std::string_view right_col,
+               JoinType type, std::string result_name) {
+  int li = left.schema().IndexOf(left_col);
+  int ri = right.schema().IndexOf(right_col);
+
+  // Build side: right relation, keyed by join value. NULL keys never match.
+  std::unordered_map<Value, std::vector<const Row*>, ValueHash> build;
+  build.reserve(right.row_count());
+  for (const Row& r : right.rows()) {
+    const Value& key = r[static_cast<std::size_t>(ri)];
+    if (key.is_null()) continue;
+    build[key].push_back(&r);
+  }
+
+  if (result_name.empty()) {
+    result_name = left.name() + "_join_" + right.name();
+  }
+  Table out(std::move(result_name),
+            Schema::Concat(left.schema(), right.schema()));
+
+  const std::size_t right_width = right.schema().size();
+  for (const Row& l : left.rows()) {
+    const Value& key = l[static_cast<std::size_t>(li)];
+    auto it = key.is_null() ? build.end() : build.find(key);
+    if (it != build.end()) {
+      for (const Row* r : it->second) {
+        Row joined = l;
+        joined.insert(joined.end(), r->begin(), r->end());
+        out.AddRow(std::move(joined));
+      }
+    } else if (type == JoinType::kLeftOuter) {
+      Row joined = l;
+      joined.resize(joined.size() + right_width);  // NULL padding
+      out.AddRow(std::move(joined));
+    }
+  }
+  return out;
+}
+
+std::pair<std::string, std::string> FindJoinColumns(
+    const Database& db, const Schema& left_schema,
+    std::string_view right_table) {
+  for (const ForeignKey& fk : db.foreign_keys()) {
+    // Case 1: FK points from a left relation to the right table.
+    // Case 2: FK points from the right table into a left relation.
+    for (bool flip : {false, true}) {
+      const std::string& lt = flip ? fk.to_table : fk.from_table;
+      const std::string& lc = flip ? fk.to_column : fk.from_column;
+      const std::string& rt = flip ? fk.from_table : fk.to_table;
+      const std::string& rc = flip ? fk.from_column : fk.to_column;
+      if (!util::EqualsIgnoreCase(rt, right_table)) continue;
+      std::string qualified = lt + "." + lc;
+      if (left_schema.Find(qualified).has_value()) return {qualified, rc};
+    }
+  }
+  throw std::runtime_error("no foreign key links schema " +
+                           left_schema.ToString() + " with table '" +
+                           std::string(right_table) + "'");
+}
+
+std::pair<std::string, std::string> FindJoinColumns(const Database& db,
+                                                    const Schema& left_schema,
+                                                    const Schema& right_schema) {
+  for (const ForeignKey& fk : db.foreign_keys()) {
+    for (bool flip : {false, true}) {
+      const std::string& lt = flip ? fk.to_table : fk.from_table;
+      const std::string& lc = flip ? fk.to_column : fk.from_column;
+      const std::string& rt = flip ? fk.from_table : fk.to_table;
+      const std::string& rc = flip ? fk.from_column : fk.to_column;
+      std::string lq = lt + "." + lc;
+      std::string rq = rt + "." + rc;
+      if (left_schema.Find(lq).has_value() && right_schema.Find(rq).has_value()) {
+        return {lq, rq};
+      }
+    }
+  }
+  throw std::runtime_error("no foreign key links schema " +
+                           left_schema.ToString() + " with schema " +
+                           right_schema.ToString());
+}
+
+Table Filter(const Table& in, const std::function<bool(const Row&)>& pred,
+             std::string result_name) {
+  Table out(result_name.empty() ? in.name() : std::move(result_name),
+            in.schema());
+  for (const Row& r : in.rows()) {
+    if (pred(r)) out.AddRow(r);
+  }
+  return out;
+}
+
+Table Project(const Table& in, const std::vector<std::string>& columns,
+              std::string result_name) {
+  std::vector<int> idx;
+  std::vector<Column> cols;
+  idx.reserve(columns.size());
+  for (const std::string& c : columns) {
+    int i = in.schema().IndexOf(c);
+    idx.push_back(i);
+    cols.push_back(in.schema().column(static_cast<std::size_t>(i)));
+  }
+  Table out(result_name.empty() ? in.name() : std::move(result_name),
+            Schema(std::move(cols)));
+  for (const Row& r : in.rows()) {
+    Row projected;
+    projected.reserve(idx.size());
+    for (int i : idx) projected.push_back(r[static_cast<std::size_t>(i)]);
+    out.AddRow(std::move(projected));
+  }
+  return out;
+}
+
+Table GroupCount(const Table& in, const std::vector<std::string>& group_cols,
+                 std::string count_name, std::string result_name) {
+  std::vector<int> idx;
+  std::vector<Column> cols;
+  for (const std::string& c : group_cols) {
+    int i = in.schema().IndexOf(c);
+    idx.push_back(i);
+    cols.push_back(in.schema().column(static_cast<std::size_t>(i)));
+  }
+  cols.push_back(Column{"", std::move(count_name), ValueType::kInt});
+
+  std::unordered_map<Row, std::int64_t, RowHash> counts;
+  counts.reserve(in.row_count());
+  std::vector<Row> order;  // first-seen order for deterministic output
+  for (const Row& r : in.rows()) {
+    Row key;
+    key.reserve(idx.size());
+    for (int i : idx) key.push_back(r[static_cast<std::size_t>(i)]);
+    auto [it, inserted] = counts.emplace(key, 0);
+    if (inserted) order.push_back(key);
+    ++it->second;
+  }
+
+  Table out(result_name.empty() ? in.name() + "_counts" : std::move(result_name),
+            Schema(std::move(cols)));
+  for (Row& key : order) {
+    Row row = key;
+    row.push_back(Value(counts[key]));
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+Table SortBy(const Table& in, const std::vector<std::string>& columns) {
+  std::vector<int> idx;
+  for (const std::string& c : columns) idx.push_back(in.schema().IndexOf(c));
+  std::vector<Row> rows = in.rows();
+  std::stable_sort(rows.begin(), rows.end(), [&idx](const Row& a, const Row& b) {
+    for (int i : idx) {
+      auto cmp = a[static_cast<std::size_t>(i)] <=> b[static_cast<std::size_t>(i)];
+      if (cmp != std::strong_ordering::equal) return cmp == std::strong_ordering::less;
+    }
+    return false;
+  });
+  Table out(in.name(), in.schema());
+  for (Row& r : rows) out.AddRow(std::move(r));
+  return out;
+}
+
+}  // namespace dash::db

@@ -1,0 +1,72 @@
+// Relational operators: hash join (inner / left outer), selection,
+// projection, group-by count.
+//
+// These power the single-node reference crawler and the example web
+// applications; the MapReduce crawlers re-express the same joins as job
+// chains (src/core/mr_*.cc).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/database.h"
+#include "db/table.h"
+
+namespace dash::db {
+
+enum class JoinType { kInner, kLeftOuter };
+
+// Comparison operators permitted in PSJ selection conditions
+// (paper Definition 1 restricts to =, >=, <=).
+enum class CompareOp { kEq, kGe, kLe };
+
+std::string_view CompareOpName(CompareOp op);
+
+// True iff `lhs op rhs` holds; any NULL operand fails every comparison.
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
+
+// Hash-joins `left` and `right` on left_col = right_col. The output schema
+// is Schema::Concat(left, right); for kLeftOuter, unmatched left rows pad
+// the right columns with NULL (exactly what the paper's
+// "restaurant LEFT JOIN comment" produces for comment-less Wandy's).
+Table HashJoin(const Table& left, const Table& right,
+               std::string_view left_col, std::string_view right_col,
+               JoinType type, std::string result_name = "");
+
+// Resolves FK-implied join columns between a (possibly already joined)
+// left schema and `right_table`, scanning the catalog's foreign keys for a
+// link between any relation present in `left_schema` and the right table.
+// Returns {left_column_qualified, right_column_name}.
+std::pair<std::string, std::string> FindJoinColumns(
+    const Database& db, const Schema& left_schema,
+    std::string_view right_table);
+
+// Generalization for joining two already-joined sides (e.g. Q3's
+// (C |x| O) |x| (L |x| P)): finds an FK linking any relation in
+// `left_schema` with any relation in `right_schema`. Returns qualified
+// column names {left, right}.
+std::pair<std::string, std::string> FindJoinColumns(const Database& db,
+                                                    const Schema& left_schema,
+                                                    const Schema& right_schema);
+
+// Rows of `in` satisfying `pred`.
+Table Filter(const Table& in, const std::function<bool(const Row&)>& pred,
+             std::string result_name = "");
+
+// Keeps the named columns, in the given order.
+Table Project(const Table& in, const std::vector<std::string>& columns,
+              std::string result_name = "");
+
+// SELECT group_cols, COUNT(*) FROM in GROUP BY group_cols — the paper's
+// "aggregate query" of the integrated algorithm, step (1). The count column
+// is appended with the given name (default "theta").
+Table GroupCount(const Table& in, const std::vector<std::string>& group_cols,
+                 std::string count_name = "theta",
+                 std::string result_name = "");
+
+// Stable sort of a copy of `in` by the given columns ascending.
+Table SortBy(const Table& in, const std::vector<std::string>& columns);
+
+}  // namespace dash::db

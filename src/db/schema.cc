@@ -1,0 +1,54 @@
+#include "db/schema.h"
+
+#include "util/string_util.h"
+
+namespace dash::db {
+
+std::optional<int> Schema::Find(std::string_view name) const {
+  std::string_view rel, col = name;
+  if (auto dot = name.find('.'); dot != std::string_view::npos) {
+    rel = name.substr(0, dot);
+    col = name.substr(dot + 1);
+  }
+  std::optional<int> found;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    if (!util::EqualsIgnoreCase(c.name, col)) continue;
+    if (!rel.empty() && !util::EqualsIgnoreCase(c.relation, rel)) continue;
+    if (found.has_value()) {
+      throw std::runtime_error("ambiguous column reference '" +
+                               std::string(name) + "' in schema " + ToString());
+    }
+    found = static_cast<int>(i);
+  }
+  return found;
+}
+
+int Schema::IndexOf(std::string_view name) const {
+  auto idx = Find(name);
+  if (!idx.has_value()) {
+    throw std::runtime_error("unknown column '" + std::string(name) +
+                             "' in schema " + ToString());
+  }
+  return *idx;
+}
+
+Schema Schema::Concat(const Schema& a, const Schema& b) {
+  std::vector<Column> cols = a.columns();
+  cols.insert(cols.end(), b.columns().begin(), b.columns().end());
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].Qualified();
+    out += ':';
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dash::db

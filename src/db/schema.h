@@ -1,0 +1,57 @@
+// Relation schemas with qualified-name resolution.
+//
+// Columns carry both a relation qualifier and a bare name; lookups accept
+// either "budget" or "restaurant.budget" and fail loudly on ambiguity, which
+// matters once joined schemas concatenate columns from several relations.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/value.h"
+
+namespace dash::db {
+
+struct Column {
+  std::string relation;  // qualifier; may be empty for derived columns
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  std::string Qualified() const {
+    return relation.empty() ? name : relation + "." + name;
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  std::size_t size() const { return columns_.size(); }
+  const Column& column(std::size_t i) const { return columns_[i]; }
+
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  // Resolves `name` ("col" or "rel.col", case-insensitive) to a column
+  // index. Returns nullopt if absent; throws std::runtime_error when a bare
+  // name is ambiguous across relations.
+  std::optional<int> Find(std::string_view name) const;
+
+  // Like Find but throws std::runtime_error when the column is absent.
+  int IndexOf(std::string_view name) const;
+
+  // Concatenation of two schemas (join output).
+  static Schema Concat(const Schema& a, const Schema& b);
+
+  // Human-readable "rel.col:type, ..." list for error messages.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace dash::db

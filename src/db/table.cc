@@ -1,0 +1,82 @@
+#include "db/table.h"
+
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace dash::db {
+
+void Table::AddRow(Row row) {
+  if (row.size() != schema_.size()) {
+    throw std::runtime_error("row arity " + std::to_string(row.size()) +
+                             " does not match schema " + schema_.ToString() +
+                             " of table '" + name_ + "'");
+  }
+  rows_.push_back(std::move(row));
+}
+
+bool Table::RemoveFirstMatch(const Row& row) {
+  for (auto it = rows_.begin(); it != rows_.end(); ++it) {
+    if (*it == row) {
+      rows_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+const Value& Table::At(std::size_t r, std::string_view col) const {
+  return rows_[r][static_cast<std::size_t>(schema_.IndexOf(col))];
+}
+
+std::size_t Table::PayloadBytes() const {
+  std::size_t bytes = 0;
+  for (const Row& row : rows_) {
+    for (const Value& v : row) {
+      switch (v.type()) {
+        case ValueType::kNull:
+          bytes += 1;
+          break;
+        case ValueType::kInt:
+        case ValueType::kDouble:
+          bytes += 8;
+          break;
+        case ValueType::kString:
+          bytes += v.AsString().size();
+          break;
+      }
+    }
+  }
+  return bytes;
+}
+
+std::vector<std::string> Table::ExportRows() const {
+  std::vector<std::string> out;
+  out.reserve(rows_.size());
+  std::vector<std::string> fields;
+  for (const Row& row : rows_) {
+    fields.clear();
+    fields.reserve(row.size());
+    for (const Value& v : row) fields.push_back(v.ToString());
+    out.push_back(util::EncodeFields(fields));
+  }
+  return out;
+}
+
+Row Table::ParseRow(std::string_view line) const {
+  std::vector<std::string> fields = util::DecodeFields(line);
+  if (fields.size() != schema_.size()) {
+    throw std::runtime_error("exported line has " +
+                             std::to_string(fields.size()) +
+                             " fields, expected " +
+                             std::to_string(schema_.size()));
+  }
+  Row row;
+  row.reserve(fields.size());
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    row.push_back(Value::Parse(fields[i], schema_.column(i).type));
+  }
+  return row;
+}
+
+}  // namespace dash::db

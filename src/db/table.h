@@ -1,0 +1,52 @@
+// An in-memory relation: schema + row storage.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace dash::db {
+
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  // Appends a row; throws std::runtime_error on arity mismatch.
+  void AddRow(Row row);
+
+  // Removes the first row equal to `row`; returns false when absent.
+  bool RemoveFirstMatch(const Row& row);
+
+  // Convenience accessor: rows()[r][schema().IndexOf(col)].
+  const Value& At(std::size_t r, std::string_view col) const;
+
+  // Total bytes of row payload (Value storage, strings by content size).
+  // Used to report Table-II-style dataset sizes.
+  std::size_t PayloadBytes() const;
+
+  // Serializes every row as tab-escaped text (util::EncodeFields order =
+  // schema order). Used to export relations into the MapReduce cluster,
+  // mirroring the paper's "records ... exported from a database to a MR
+  // cluster" step.
+  std::vector<std::string> ExportRows() const;
+
+  // Parses one exported line back into a typed Row for this schema.
+  Row ParseRow(std::string_view line) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dash::db

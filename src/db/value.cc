@@ -1,0 +1,138 @@
+#include "db/value.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace dash::db {
+
+std::string_view ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+double Value::AsNumber() const {
+  if (type() == ValueType::kInt) return static_cast<double>(AsInt());
+  return AsDouble();
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      char buf[32];
+      double d = AsDouble();
+      // Shortest representation that round-trips and reads naturally
+      // ("4.3", not "4.2999999999999998").
+      std::snprintf(buf, sizeof(buf), "%.12g", d);
+      return buf;
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "";
+}
+
+Value Value::Parse(std::string_view text, ValueType type) {
+  if (text.empty()) return Null();
+  switch (type) {
+    case ValueType::kNull:
+      return Null();
+    case ValueType::kInt: {
+      std::int64_t v;
+      return util::ParseInt64(text, &v) ? Value(v) : Null();
+    }
+    case ValueType::kDouble: {
+      double v;
+      return util::ParseDouble(text, &v) ? Value(v) : Null();
+    }
+    case ValueType::kString:
+      return Value(std::string(text));
+  }
+  return Null();
+}
+
+std::strong_ordering operator<=>(const Value& a, const Value& b) {
+  if (a.v_.index() != b.v_.index()) {
+    // Mixed numeric comparison keeps int/double interoperable.
+    bool a_num = a.type() == ValueType::kInt || a.type() == ValueType::kDouble;
+    bool b_num = b.type() == ValueType::kInt || b.type() == ValueType::kDouble;
+    if (a_num && b_num) {
+      double x = a.AsNumber(), y = b.AsNumber();
+      if (x < y) return std::strong_ordering::less;
+      if (x > y) return std::strong_ordering::greater;
+      return std::strong_ordering::equal;
+    }
+    return a.v_.index() <=> b.v_.index();
+  }
+  switch (a.type()) {
+    case ValueType::kNull:
+      return std::strong_ordering::equal;
+    case ValueType::kInt:
+      return a.AsInt() <=> b.AsInt();
+    case ValueType::kDouble: {
+      double x = a.AsDouble(), y = b.AsDouble();
+      if (x < y) return std::strong_ordering::less;
+      if (x > y) return std::strong_ordering::greater;
+      return std::strong_ordering::equal;
+    }
+    case ValueType::kString:
+      return a.AsString().compare(b.AsString()) <=> 0;
+  }
+  return std::strong_ordering::equal;
+}
+
+std::size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9E3779B97F4A7C15ULL;
+    case ValueType::kInt:
+      return std::hash<std::int64_t>()(AsInt());
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      // Hash integral doubles like the equivalent int so mixed-type keys
+      // that compare equal hash equal.
+      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+        return std::hash<std::int64_t>()(static_cast<std::int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+std::size_t RowHash::operator()(const Row& row) const {
+  std::size_t h = 1469598103934665603ULL;
+  for (const Value& v : row) {
+    h ^= v.Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::size_t HashRowSlice(const Row& row, const std::vector<int>& cols) {
+  std::size_t h = 1469598103934665603ULL;
+  for (int c : cols) {
+    h ^= row[static_cast<std::size_t>(c)].Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace dash::db

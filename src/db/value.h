@@ -1,0 +1,83 @@
+// Typed attribute values for the in-memory relational engine.
+//
+// A Value is one of: NULL, 64-bit integer, double, or string. Ordering and
+// equality are defined within a type; cross-type comparison falls back to a
+// stable (type-rank, value) order so Values can key std::map/sort without
+// surprises. NULLs order before everything and are equal only to NULL —
+// matching what the crawler needs (grouping) rather than SQL ternary logic,
+// which the engine does not expose.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace dash::db {
+
+enum class ValueType { kNull, kInt, kDouble, kString };
+
+std::string_view ValueTypeName(ValueType t);
+
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  Value(std::int64_t v) : v_(v) {}          // NOLINT(runtime/explicit)
+  Value(int v) : v_(std::int64_t{v}) {}     // NOLINT(runtime/explicit)
+  Value(double v) : v_(v) {}                // NOLINT(runtime/explicit)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(v_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  // Typed accessors; precondition: matching type().
+  std::int64_t AsInt() const { return std::get<std::int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  // Numeric view: kInt/kDouble as double; precondition: numeric type.
+  double AsNumber() const;
+
+  // Round-trippable text form. NULL -> "". Integers without decimal point,
+  // doubles with shortest round-trip formatting.
+  std::string ToString() const;
+
+  // Parses `text` as `type` ("": NULL for any type). Returns Null on
+  // malformed numeric input.
+  static Value Parse(std::string_view text, ValueType type);
+
+  // Equality is consistent with <=>, so Value(5) == Value(5.0): mixed
+  // numeric keys that join successfully also group together.
+  friend bool operator==(const Value& a, const Value& b) {
+    return (a <=> b) == std::strong_ordering::equal;
+  }
+  friend std::strong_ordering operator<=>(const Value& a, const Value& b);
+
+  std::size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, std::string> v_;
+};
+
+using Row = std::vector<Value>;
+
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+struct RowHash {
+  std::size_t operator()(const Row& row) const;
+};
+
+// Hash over a subset of row columns; used by hash joins and grouping.
+std::size_t HashRowSlice(const Row& row, const std::vector<int>& cols);
+
+}  // namespace dash::db

@@ -1,0 +1,258 @@
+#include "mapreduce/cluster.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace dash::mr {
+
+namespace {
+
+// Deterministic per-attempt failure decision ("did the node die before
+// finishing this task attempt?"). Seeded by (cluster seed, job sequence,
+// phase, task, attempt) so runs are reproducible.
+bool AttemptFails(const ClusterConfig& config, std::uint64_t job_seq,
+                  bool is_map, std::uint64_t task, std::uint64_t attempt) {
+  if (config.task_failure_probability <= 0.0) return false;
+  std::uint64_t seed = config.fault_seed;
+  seed = seed * 1000003ULL + job_seq;
+  seed = seed * 1000003ULL + (is_map ? 1 : 2);
+  seed = seed * 1000003ULL + task;
+  seed = seed * 1000003ULL + attempt;
+  util::SplitMix64 rng(seed);
+  return rng.NextDouble() < config.task_failure_probability;
+}
+
+// Counts the failed attempts before this task's first success; throws when
+// the attempt budget is exhausted (speculative re-execution gave up).
+std::uint64_t FailedAttempts(const ClusterConfig& config, std::uint64_t job_seq,
+                             bool is_map, std::uint64_t task,
+                             const std::string& job_name) {
+  std::uint64_t failed = 0;
+  while (failed < static_cast<std::uint64_t>(config.max_task_attempts) &&
+         AttemptFails(config, job_seq, is_map, task, failed)) {
+    ++failed;
+  }
+  if (failed >= static_cast<std::uint64_t>(config.max_task_attempts)) {
+    throw std::runtime_error("job '" + job_name + "': " +
+                             (is_map ? std::string("map") : std::string("reduce")) +
+                             " task " + std::to_string(task) + " failed " +
+                             std::to_string(failed) + " attempts");
+  }
+  return failed;
+}
+
+// FNV-1a over the key; stable across platforms so partition assignment (and
+// therefore output order) is deterministic.
+std::uint32_t PartitionOf(const std::string& key, int num_partitions) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::uint32_t>(h % static_cast<std::uint64_t>(num_partitions));
+}
+
+// Collects emissions into a per-partition buffer.
+class PartitionedEmitter : public Emitter {
+ public:
+  explicit PartitionedEmitter(int num_partitions) : parts_(num_partitions) {}
+
+  void Emit(std::string key, std::string value) override {
+    int p = static_cast<int>(PartitionOf(key, static_cast<int>(parts_.size())));
+    parts_[p].push_back(Record{std::move(key), std::move(value)});
+  }
+
+  std::vector<Dataset>& parts() { return parts_; }
+
+ private:
+  std::vector<Dataset> parts_;
+};
+
+// Collects emissions into a flat buffer.
+class VectorEmitter : public Emitter {
+ public:
+  void Emit(std::string key, std::string value) override {
+    records_.push_back(Record{std::move(key), std::move(value)});
+  }
+  Dataset& records() { return records_; }
+
+ private:
+  Dataset records_;
+};
+
+// Runs `fn(i)` for i in [0, n) on up to `workers` threads. Exceptions from
+// tasks are rethrown on the calling thread.
+void ParallelFor(int workers, int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  int threads = std::min(workers, n);
+  if (threads <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    while (true) {
+      int i = next.fetch_add(1);
+      if (i >= n || failed.load()) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+// Groups a sorted run of records by key and feeds each group to `reducer`.
+void ReducePartition(Dataset&& partition, Reducer& reducer, Emitter& out) {
+  // Stable sort by key keeps values in arrival (map-task, emission) order —
+  // Hadoop's grouping semantics without secondary sort.
+  std::stable_sort(partition.begin(), partition.end(),
+                   [](const Record& a, const Record& b) { return a.key < b.key; });
+  std::size_t i = 0;
+  std::vector<std::string> values;
+  while (i < partition.size()) {
+    std::size_t j = i;
+    values.clear();
+    while (j < partition.size() && partition[j].key == partition[i].key) {
+      values.push_back(std::move(partition[j].value));
+      ++j;
+    }
+    reducer.Reduce(partition[i].key, values, out);
+    i = j;
+  }
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  if (config_.num_nodes < 1) {
+    throw std::invalid_argument("cluster needs at least one node");
+  }
+  if (config_.block_size_bytes == 0) {
+    throw std::invalid_argument("block size must be positive");
+  }
+}
+
+Dataset Cluster::Run(const JobConfig& job, const Dataset& input,
+                     const MapperFactory& mapper, const ReducerFactory& reducer,
+                     const ReducerFactory& combiner) {
+  if (!mapper || !reducer) {
+    throw std::invalid_argument("job '" + job.name +
+                                "' needs a mapper and a reducer factory");
+  }
+  const int num_reducers = std::max(1, job.num_reduce_tasks);
+
+  JobMetrics metrics;
+  metrics.job_name = job.name;
+  metrics.reduce_tasks = static_cast<std::uint64_t>(num_reducers);
+  metrics.map_input_records = input.size();
+  metrics.map_input_bytes = DatasetBytes(input);
+
+  // ---- Split input into map tasks by simulated HDFS block size. ----
+  std::vector<std::pair<std::size_t, std::size_t>> splits;  // [begin, end)
+  {
+    std::size_t begin = 0, bytes = 0;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      bytes += input[i].Bytes();
+      if (bytes >= config_.block_size_bytes) {
+        splits.emplace_back(begin, i + 1);
+        begin = i + 1;
+        bytes = 0;
+      }
+    }
+    if (begin < input.size() || splits.empty()) {
+      splits.emplace_back(begin, input.size());
+    }
+  }
+  metrics.map_tasks = splits.size();
+
+  const std::uint64_t job_seq = history_.size();
+  std::atomic<std::uint64_t> retries{0};
+
+  // ---- Map phase. ----
+  util::Stopwatch watch;
+  std::vector<std::vector<Dataset>> task_parts(splits.size());
+  ParallelFor(config_.num_nodes, static_cast<int>(splits.size()), [&](int t) {
+    retries.fetch_add(FailedAttempts(config_, job_seq, /*is_map=*/true,
+                                     static_cast<std::uint64_t>(t), job.name));
+    auto [begin, end] = splits[static_cast<std::size_t>(t)];
+    PartitionedEmitter emitter(num_reducers);
+    std::unique_ptr<Mapper> m = mapper();
+    for (std::size_t i = begin; i < end; ++i) m->Map(input[i], emitter);
+    m->Finish(emitter);
+
+    if (combiner) {
+      // Combine each partition locally, preserving partition assignment.
+      std::unique_ptr<Reducer> c = combiner();
+      for (Dataset& part : emitter.parts()) {
+        VectorEmitter combined;
+        ReducePartition(std::move(part), *c, combined);
+        part = std::move(combined.records());
+      }
+    }
+    task_parts[static_cast<std::size_t>(t)] = std::move(emitter.parts());
+  });
+  metrics.map_wall_sec = watch.ElapsedSeconds();
+
+  // ---- Shuffle: gather each reduce partition across map tasks. ----
+  watch.Restart();
+  std::vector<Dataset> partitions(static_cast<std::size_t>(num_reducers));
+  for (auto& parts : task_parts) {
+    for (int p = 0; p < num_reducers; ++p) {
+      Dataset& src = parts[static_cast<std::size_t>(p)];
+      Dataset& dst = partitions[static_cast<std::size_t>(p)];
+      for (Record& r : src) {
+        metrics.map_output_records += 1;
+        metrics.map_output_bytes += r.Bytes();
+        dst.push_back(std::move(r));
+      }
+      src.clear();
+    }
+  }
+  metrics.shuffle_wall_sec = watch.ElapsedSeconds();
+
+  // ---- Reduce phase. ----
+  watch.Restart();
+  std::vector<Dataset> outputs(static_cast<std::size_t>(num_reducers));
+  ParallelFor(config_.num_nodes, num_reducers, [&](int p) {
+    retries.fetch_add(FailedAttempts(config_, job_seq, /*is_map=*/false,
+                                     static_cast<std::uint64_t>(p), job.name));
+    VectorEmitter emitter;
+    std::unique_ptr<Reducer> r = reducer();
+    ReducePartition(std::move(partitions[static_cast<std::size_t>(p)]), *r,
+                    emitter);
+    outputs[static_cast<std::size_t>(p)] = std::move(emitter.records());
+  });
+  metrics.reduce_wall_sec = watch.ElapsedSeconds();
+
+  metrics.task_retries = retries.load();
+  Dataset result;
+  for (Dataset& out : outputs) {
+    for (Record& r : out) {
+      metrics.reduce_output_records += 1;
+      metrics.reduce_output_bytes += r.Bytes();
+      result.push_back(std::move(r));
+    }
+  }
+  history_.push_back(metrics);
+  return result;
+}
+
+}  // namespace dash::mr

@@ -1,0 +1,75 @@
+#include "mapreduce/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace dash::mr {
+
+double JobMetrics::ModeledSec(const CostModel& cost) const {
+  const double nodes = std::max(1, cost.num_nodes);
+  const double f = cost.data_scale_factor;
+  // Map phase: read input splits from disk, write partitioned intermediate
+  // output to local disk.
+  double map_io = (static_cast<double>(map_input_bytes) +
+                   static_cast<double>(map_output_bytes)) *
+                  f / cost.disk_bytes_per_sec;
+  // Shuffle: intermediate data crosses the network once ((nodes-1)/nodes of
+  // it, on average) and is re-read/merged from disk at reducers.
+  double shuffle_net = static_cast<double>(map_output_bytes) * f *
+                       (nodes - 1.0) / nodes / cost.network_bytes_per_sec;
+  double shuffle_disk =
+      static_cast<double>(map_output_bytes) * f / cost.disk_bytes_per_sec;
+  // Reduce phase: write final output.
+  double reduce_io =
+      static_cast<double>(reduce_output_bytes) * f / cost.disk_bytes_per_sec;
+
+  double parallel_work = (map_io + shuffle_net + shuffle_disk + reduce_io) / nodes;
+  double overhead =
+      cost.per_job_overhead_sec * static_cast<double>(jobs) +
+      cost.per_task_overhead_sec *
+          static_cast<double>(map_tasks + reduce_tasks) / nodes;
+  return parallel_work + overhead;
+}
+
+void JobMetrics::Accumulate(const JobMetrics& other) {
+  jobs += other.jobs;
+  map_tasks += other.map_tasks;
+  task_retries += other.task_retries;
+  reduce_tasks += other.reduce_tasks;
+  map_input_records += other.map_input_records;
+  map_input_bytes += other.map_input_bytes;
+  map_output_records += other.map_output_records;
+  map_output_bytes += other.map_output_bytes;
+  reduce_output_records += other.reduce_output_records;
+  reduce_output_bytes += other.reduce_output_bytes;
+  map_wall_sec += other.map_wall_sec;
+  shuffle_wall_sec += other.shuffle_wall_sec;
+  reduce_wall_sec += other.reduce_wall_sec;
+}
+
+std::string JobMetrics::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s: map %llu rec / %s -> shuffle %llu rec / %s -> out %llu rec / %s "
+      "(wall %.3fs)",
+      job_name.c_str(), static_cast<unsigned long long>(map_input_records),
+      util::HumanBytes(map_input_bytes).c_str(),
+      static_cast<unsigned long long>(map_output_records),
+      util::HumanBytes(map_output_bytes).c_str(),
+      static_cast<unsigned long long>(reduce_output_records),
+      util::HumanBytes(reduce_output_bytes).c_str(), TotalWallSec());
+  return buf;
+}
+
+JobMetrics SumMetrics(const std::vector<JobMetrics>& jobs, std::string name) {
+  JobMetrics total;
+  total.job_name = std::move(name);
+  total.jobs = 0;
+  for (const JobMetrics& j : jobs) total.Accumulate(j);
+  return total;
+}
+
+}  // namespace dash::mr

@@ -1,0 +1,93 @@
+#include "sql/eval.h"
+
+#include <stdexcept>
+
+#include "db/ops.h"
+
+namespace dash::sql {
+
+namespace {
+
+db::Schema JoinSchema(const db::Database& db, const JoinNode& node) {
+  if (node.IsLeaf()) return db.table(node.relation).schema();
+  return db::Schema::Concat(JoinSchema(db, *node.left),
+                            JoinSchema(db, *node.right));
+}
+
+}  // namespace
+
+db::Table EvalJoin(const db::Database& db, const JoinNode& node) {
+  if (node.IsLeaf()) return db.table(node.relation);
+  db::Table left = EvalJoin(db, *node.left);
+  db::Table right = EvalJoin(db, *node.right);
+  std::string on_left = node.on_left, on_right = node.on_right;
+  if (on_left.empty()) {
+    std::tie(on_left, on_right) =
+        db::FindJoinColumns(db, left.schema(), right.schema());
+  }
+  db::JoinType type = node.kind == JoinKind::kLeftOuter
+                          ? db::JoinType::kLeftOuter
+                          : db::JoinType::kInner;
+  return db::HashJoin(left, right, on_left, on_right, type);
+}
+
+std::vector<std::string> ResolveProjection(const db::Database& db,
+                                           const PsjQuery& query) {
+  if (!query.from) {
+    throw std::runtime_error("PSJ query has no FROM clause");
+  }
+  db::Schema joined = JoinSchema(db, *query.from);
+  std::vector<std::string> columns;
+  if (query.projection.empty()) {
+    for (const db::Column& c : joined.columns()) {
+      columns.push_back(c.Qualified());
+    }
+  } else {
+    for (const std::string& name : query.projection) {
+      int idx = joined.IndexOf(name);
+      columns.push_back(
+          joined.column(static_cast<std::size_t>(idx)).Qualified());
+    }
+  }
+  return columns;
+}
+
+db::Table EvalQuery(const db::Database& db, const PsjQuery& query,
+                    const std::map<std::string, db::Value>& params) {
+  db::Table joined = EvalJoin(db, *query.from);
+
+  struct ResolvedPredicate {
+    int column;
+    db::CompareOp op;
+    db::Value value;
+  };
+  std::vector<ResolvedPredicate> preds;
+  for (const Predicate& p : query.where) {
+    auto it = params.find(p.parameter);
+    if (it == params.end()) {
+      if (p.op == db::CompareOp::kEq) {
+        throw std::runtime_error("missing value for equality parameter '" +
+                                 p.parameter + "'");
+      }
+      continue;  // unbounded range side
+    }
+    preds.push_back(ResolvedPredicate{joined.schema().IndexOf(p.column), p.op,
+                                      it->second});
+  }
+
+  db::Table filtered = db::Filter(
+      joined,
+      [&preds](const db::Row& row) {
+        for (const ResolvedPredicate& p : preds) {
+          if (!db::EvalCompare(row[static_cast<std::size_t>(p.column)], p.op,
+                               p.value)) {
+            return false;
+          }
+        }
+        return true;
+      },
+      "page");
+  return db::Project(filtered, ResolveProjection(db, query), "page");
+}
+
+}  // namespace dash::sql

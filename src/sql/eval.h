@@ -1,0 +1,32 @@
+// PSJ query evaluation against the relational engine.
+//
+// Shared by the reference crawler (which evaluates the *crawling query* —
+// the join with all attributes) and the forward web-application runtime
+// (which evaluates the query for one concrete parameter assignment).
+#pragma once
+
+#include <map>
+
+#include "db/database.h"
+#include "sql/psj_query.h"
+
+namespace dash::sql {
+
+// Evaluates the join tree: one hash join per internal node, with ON-less
+// joins resolved through catalog foreign keys. Returns all columns of all
+// operand relations.
+db::Table EvalJoin(const db::Database& db, const JoinNode& root);
+
+// Resolves the query's projection list against the join schema (empty
+// projection = SELECT * = every column), returning qualified names.
+std::vector<std::string> ResolveProjection(const db::Database& db,
+                                           const PsjQuery& query);
+
+// Evaluates the full query for concrete parameter values: join, filter by
+// every predicate whose parameter is present in `params` (a missing range
+// bound means unbounded; a missing equality parameter throws
+// std::runtime_error), then project.
+db::Table EvalQuery(const db::Database& db, const PsjQuery& query,
+                    const std::map<std::string, db::Value>& params);
+
+}  // namespace dash::sql

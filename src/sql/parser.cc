@@ -1,0 +1,241 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace dash::sql {
+
+namespace {
+
+enum class TokKind { kIdent, kParam, kSymbol, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;  // identifier / parameter name / symbol spelling
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { Advance(); }
+
+  const Token& Peek() const { return cur_; }
+
+  Token Take() {
+    Token t = cur_;
+    Advance();
+    return t;
+  }
+
+ private:
+  void Advance() {
+    while (i_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[i_]))) {
+      ++i_;
+    }
+    cur_.pos = i_;
+    if (i_ >= text_.size()) {
+      cur_ = Token{TokKind::kEnd, "", i_};
+      return;
+    }
+    char c = text_[i_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i_;
+      while (i_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[i_])) ||
+                                   text_[i_] == '_')) {
+        ++i_;
+      }
+      cur_ = Token{TokKind::kIdent, std::string(text_.substr(start, i_ - start)),
+                   start};
+      return;
+    }
+    if (c == '$') {
+      std::size_t start = ++i_;
+      while (i_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[i_])) ||
+                                   text_[i_] == '_')) {
+        ++i_;
+      }
+      if (i_ == start) {
+        throw ParseError("expected parameter name after '$' at position " +
+                         std::to_string(start));
+      }
+      cur_ = Token{TokKind::kParam, std::string(text_.substr(start, i_ - start)),
+                   start - 1};
+      return;
+    }
+    // Multi-char symbols: >= <=
+    if ((c == '>' || c == '<') && i_ + 1 < text_.size() && text_[i_ + 1] == '=') {
+      cur_ = Token{TokKind::kSymbol, std::string(text_.substr(i_, 2)), i_};
+      i_ += 2;
+      return;
+    }
+    cur_ = Token{TokKind::kSymbol, std::string(1, c), i_};
+    ++i_;
+  }
+
+  std::string_view text_;
+  std::size_t i_ = 0;
+  Token cur_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lex_(text) {}
+
+  PsjQuery ParseQuery() {
+    ExpectKeyword("SELECT");
+    PsjQuery q;
+    q.projection = ParseSelectList();
+    ExpectKeyword("FROM");
+    q.from = ParseJoinExpr();
+    if (AcceptKeyword("WHERE")) {
+      do {
+        ParseCondition(&q.where);
+      } while (AcceptKeyword("AND"));
+    }
+    if (lex_.Peek().kind != TokKind::kEnd) {
+      Fail("unexpected trailing input");
+    }
+    return q;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) {
+    throw ParseError(what + " at position " + std::to_string(lex_.Peek().pos) +
+                     " (near '" + lex_.Peek().text + "')");
+  }
+
+  bool PeekKeyword(std::string_view kw) const {
+    const Token& t = lex_.Peek();
+    return t.kind == TokKind::kIdent && util::EqualsIgnoreCase(t.text, kw);
+  }
+
+  bool AcceptKeyword(std::string_view kw) {
+    if (!PeekKeyword(kw)) return false;
+    lex_.Take();
+    return true;
+  }
+
+  void ExpectKeyword(std::string_view kw) {
+    if (!AcceptKeyword(kw)) Fail("expected '" + std::string(kw) + "'");
+  }
+
+  bool AcceptSymbol(std::string_view sym) {
+    const Token& t = lex_.Peek();
+    if (t.kind != TokKind::kSymbol || t.text != sym) return false;
+    lex_.Take();
+    return true;
+  }
+
+  void ExpectSymbol(std::string_view sym) {
+    if (!AcceptSymbol(sym)) Fail("expected '" + std::string(sym) + "'");
+  }
+
+  std::string ParseIdent() {
+    if (lex_.Peek().kind != TokKind::kIdent) Fail("expected identifier");
+    return lex_.Take().text;
+  }
+
+  // identifier ['.' identifier]
+  std::string ParseColumn() {
+    std::string name = ParseIdent();
+    if (AcceptSymbol(".")) {
+      name += '.';
+      name += ParseIdent();
+    }
+    return name;
+  }
+
+  std::vector<std::string> ParseSelectList() {
+    if (AcceptSymbol("*")) return {};
+    std::vector<std::string> cols;
+    cols.push_back(ParseColumn());
+    while (AcceptSymbol(",")) cols.push_back(ParseColumn());
+    return cols;
+  }
+
+  std::unique_ptr<JoinNode> ParsePrimary() {
+    if (AcceptSymbol("(")) {
+      auto node = ParseJoinExpr();
+      ExpectSymbol(")");
+      return node;
+    }
+    auto node = std::make_unique<JoinNode>();
+    node->relation = ParseIdent();
+    return node;
+  }
+
+  std::unique_ptr<JoinNode> ParseJoinExpr() {
+    auto left = ParsePrimary();
+    while (true) {
+      JoinKind kind;
+      if (AcceptKeyword("LEFT")) {
+        AcceptKeyword("OUTER");
+        ExpectKeyword("JOIN");
+        kind = JoinKind::kLeftOuter;
+      } else if (AcceptKeyword("INNER")) {
+        ExpectKeyword("JOIN");
+        kind = JoinKind::kInner;
+      } else if (AcceptKeyword("JOIN")) {
+        kind = JoinKind::kInner;
+      } else {
+        return left;
+      }
+      auto node = std::make_unique<JoinNode>();
+      node->kind = kind;
+      node->left = std::move(left);
+      node->right = ParsePrimary();
+      if (AcceptKeyword("ON")) {
+        node->on_left = ParseColumn();
+        ExpectSymbol("=");
+        node->on_right = ParseColumn();
+      }
+      left = std::move(node);
+    }
+  }
+
+  std::string ParseParam() {
+    if (lex_.Peek().kind != TokKind::kParam) Fail("expected $parameter");
+    return lex_.Take().text;
+  }
+
+  void ParseCondition(std::vector<Predicate>* out) {
+    if (AcceptSymbol("(")) {
+      ParseCondition(out);
+      ExpectSymbol(")");
+      return;
+    }
+    std::string column = ParseColumn();
+    if (AcceptKeyword("BETWEEN")) {
+      std::string lo = ParseParam();
+      ExpectKeyword("AND");
+      std::string hi = ParseParam();
+      out->push_back(Predicate{column, db::CompareOp::kGe, std::move(lo)});
+      out->push_back(Predicate{column, db::CompareOp::kLe, std::move(hi)});
+      return;
+    }
+    db::CompareOp op;
+    if (AcceptSymbol("=")) {
+      op = db::CompareOp::kEq;
+    } else if (AcceptSymbol(">=")) {
+      op = db::CompareOp::kGe;
+    } else if (AcceptSymbol("<=")) {
+      op = db::CompareOp::kLe;
+    } else {
+      Fail("expected comparison operator (=, >=, <=, BETWEEN)");
+      return;
+    }
+    out->push_back(Predicate{std::move(column), op, ParseParam()});
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+PsjQuery Parse(std::string_view text) { return Parser(text).ParseQuery(); }
+
+}  // namespace dash::sql

@@ -1,0 +1,35 @@
+// Recursive-descent parser for the PSJ SQL dialect of Definition 1.
+//
+// Grammar (keywords case-insensitive):
+//
+//   query      := SELECT select_list FROM join_expr [WHERE conj]
+//   select_list:= '*' | column (',' column)*
+//   join_expr  := primary (join_op primary)*          (left-associative)
+//   primary    := relation | '(' join_expr ')'
+//   join_op    := [INNER] JOIN | LEFT [OUTER] JOIN  [ON column '=' column]
+//   conj       := condition (AND condition)*
+//   condition  := '(' condition ')'
+//              |  column ('=' | '>=' | '<=') param
+//              |  column BETWEEN param AND param
+//   param      := '$' identifier
+//   column     := identifier ['.' identifier]
+//
+// BETWEEN is desugared into >= / <= predicates on the same attribute.
+#pragma once
+
+#include <string_view>
+
+#include "sql/psj_query.h"
+
+namespace dash::sql {
+
+// Parses `text`; throws ParseError (derived from std::runtime_error, with
+// position info in the message) on malformed input.
+PsjQuery Parse(std::string_view text);
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace dash::sql

@@ -1,0 +1,134 @@
+#include "sql/psj_query.h"
+
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace dash::sql {
+
+std::unique_ptr<JoinNode> JoinNode::Clone() const {
+  auto node = std::make_unique<JoinNode>();
+  node->relation = relation;
+  node->kind = kind;
+  node->on_left = on_left;
+  node->on_right = on_right;
+  if (left) node->left = left->Clone();
+  if (right) node->right = right->Clone();
+  return node;
+}
+
+std::string Predicate::ToString() const {
+  return column + " " + std::string(db::CompareOpName(op)) + " $" + parameter;
+}
+
+PsjQuery::PsjQuery(const PsjQuery& other)
+    : projection(other.projection),
+      from(other.from ? other.from->Clone() : nullptr),
+      where(other.where) {}
+
+PsjQuery& PsjQuery::operator=(const PsjQuery& other) {
+  if (this != &other) {
+    projection = other.projection;
+    from = other.from ? other.from->Clone() : nullptr;
+    where = other.where;
+  }
+  return *this;
+}
+
+namespace {
+void CollectRelations(const JoinNode* node, std::vector<std::string>* out) {
+  if (node == nullptr) return;
+  if (node->IsLeaf()) {
+    out->push_back(node->relation);
+    return;
+  }
+  CollectRelations(node->left.get(), out);
+  CollectRelations(node->right.get(), out);
+}
+
+std::string JoinToString(const JoinNode* node) {
+  if (node->IsLeaf()) return node->relation;
+  std::string out = "(" + JoinToString(node->left.get());
+  out += node->kind == JoinKind::kLeftOuter ? " LEFT JOIN " : " JOIN ";
+  out += JoinToString(node->right.get());
+  if (!node->on_left.empty()) {
+    out += " ON " + node->on_left + " = " + node->on_right;
+  }
+  out += ")";
+  return out;
+}
+}  // namespace
+
+std::vector<std::string> PsjQuery::Relations() const {
+  std::vector<std::string> out;
+  CollectRelations(from.get(), &out);
+  return out;
+}
+
+std::vector<SelectionAttribute> PsjQuery::SelectionAttributes() const {
+  std::vector<SelectionAttribute> eq;
+  std::vector<SelectionAttribute> range;
+
+  auto find = [](std::vector<SelectionAttribute>& v, const std::string& col)
+      -> SelectionAttribute* {
+    for (auto& a : v) {
+      if (util::EqualsIgnoreCase(a.column, col)) return &a;
+    }
+    return nullptr;
+  };
+
+  for (const Predicate& p : where) {
+    if (p.op == db::CompareOp::kEq) {
+      if (find(range, p.column) != nullptr) {
+        throw std::runtime_error("attribute '" + p.column +
+                                 "' mixes equality and range predicates");
+      }
+      if (SelectionAttribute* a = find(eq, p.column)) {
+        throw std::runtime_error("attribute '" + a->column +
+                                 "' has multiple equality predicates");
+      }
+      eq.push_back(SelectionAttribute{p.column, false, p.parameter, "", ""});
+      continue;
+    }
+    if (find(eq, p.column) != nullptr) {
+      throw std::runtime_error("attribute '" + p.column +
+                               "' mixes equality and range predicates");
+    }
+    SelectionAttribute* a = find(range, p.column);
+    if (a == nullptr) {
+      range.push_back(SelectionAttribute{p.column, true, "", "", ""});
+      a = &range.back();
+    }
+    std::string& slot =
+        p.op == db::CompareOp::kGe ? a->min_parameter : a->max_parameter;
+    if (!slot.empty()) {
+      throw std::runtime_error("attribute '" + p.column +
+                               "' has duplicate range bound");
+    }
+    slot = p.parameter;
+  }
+
+  std::vector<SelectionAttribute> out = std::move(eq);
+  out.insert(out.end(), range.begin(), range.end());
+  if (out.empty()) {
+    throw std::runtime_error("PSJ query has no selection attributes");
+  }
+  return out;
+}
+
+std::string PsjQuery::ToString() const {
+  std::string out = "SELECT ";
+  out += projection.empty() ? "*" : util::Join(projection, ", ");
+  out += " FROM ";
+  out += from ? JoinToString(from.get()) : "<empty>";
+  if (!where.empty()) {
+    out += " WHERE ";
+    for (std::size_t i = 0; i < where.size(); ++i) {
+      if (i) out += " AND ";
+      out += where[i].ToString();
+    }
+  }
+  return out;
+}
+
+}  // namespace dash::sql

@@ -1,0 +1,83 @@
+// Parameterized project–select–join (PSJ) query AST — paper Definition 1:
+//
+//   pi_{a1..al} sigma_{c1 op1 $v1 and ... cm opm $vm} (R1 |x| R2 ... |x| Rn)
+//
+// Joins may be inner or left-outer; selection conditions are a conjunction
+// of comparisons between an attribute and a named query parameter, with
+// ops restricted to =, >=, <=. A SQL BETWEEN contributes a >= and a <= on
+// the same attribute.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/ops.h"
+
+namespace dash::sql {
+
+enum class JoinKind { kInner, kLeftOuter };
+
+// Binary join tree. A leaf names a relation; an internal node joins its
+// children. When `on_left`/`on_right` are empty the join condition is
+// derived from catalog foreign keys (the paper's servlet SQL gives no ON
+// clauses — comment.rid -> restaurant.rid is implied).
+struct JoinNode {
+  std::string relation;  // non-empty iff leaf
+  std::unique_ptr<JoinNode> left;
+  std::unique_ptr<JoinNode> right;
+  JoinKind kind = JoinKind::kInner;
+  std::string on_left;
+  std::string on_right;
+
+  bool IsLeaf() const { return !relation.empty(); }
+  std::unique_ptr<JoinNode> Clone() const;
+};
+
+// One selection condition: `column op $parameter`.
+struct Predicate {
+  std::string column;     // bare or qualified attribute name
+  db::CompareOp op = db::CompareOp::kEq;
+  std::string parameter;  // parameter name, without the '$' sigil
+
+  std::string ToString() const;
+};
+
+// A selection attribute after predicate analysis. Equality attributes take
+// a single parameter; range attributes take a [min,max] parameter pair
+// (either bound may be absent in degenerate queries).
+struct SelectionAttribute {
+  std::string column;
+  bool is_range = false;
+  std::string eq_parameter;   // when !is_range
+  std::string min_parameter;  // when is_range (empty if unbounded)
+  std::string max_parameter;  // when is_range (empty if unbounded)
+};
+
+struct PsjQuery {
+  // Projected attribute names; empty means SELECT * (all columns of the
+  // join result).
+  std::vector<std::string> projection;
+  std::unique_ptr<JoinNode> from;
+  std::vector<Predicate> where;
+
+  PsjQuery() = default;
+  PsjQuery(const PsjQuery& other);
+  PsjQuery& operator=(const PsjQuery& other);
+  PsjQuery(PsjQuery&&) = default;
+  PsjQuery& operator=(PsjQuery&&) = default;
+
+  // Leaf relations, left-to-right.
+  std::vector<std::string> Relations() const;
+
+  // Selection attributes in canonical order: equality attributes first
+  // (in first-appearance order), then range attributes. This order defines
+  // the fragment identifier layout (Definition 2). Throws on predicates
+  // that cannot be classified (e.g. = and >= on the same attribute).
+  std::vector<SelectionAttribute> SelectionAttributes() const;
+
+  // Re-rendered SQL text (normalized; used in logs and golden tests).
+  std::string ToString() const;
+};
+
+}  // namespace dash::sql

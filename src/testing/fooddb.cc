@@ -1,0 +1,72 @@
+#include "testing/fooddb.h"
+
+#include "sql/parser.h"
+
+namespace dash::testing {
+
+using db::Column;
+using db::Schema;
+using db::Table;
+using db::Value;
+using db::ValueType;
+
+db::Database MakeFoodDb() {
+  db::Database database;
+
+  Table restaurant("restaurant",
+                   Schema({{"restaurant", "rid", ValueType::kInt},
+                           {"restaurant", "name", ValueType::kString},
+                           {"restaurant", "cuisine", ValueType::kString},
+                           {"restaurant", "budget", ValueType::kInt},
+                           {"restaurant", "rate", ValueType::kDouble}}));
+  restaurant.AddRow({1, "Burger Queen", "American", 10, 4.3});
+  restaurant.AddRow({2, "McRonald's", "American", 18, 2.2});
+  restaurant.AddRow({3, "Wandy's", "American", 12, 4.1});
+  restaurant.AddRow({4, "Wandy's", "American", 12, 4.2});
+  restaurant.AddRow({5, "Thaifood", "Thai", 10, 4.8});
+  restaurant.AddRow({6, "Bangkok", "Thai", 10, 3.9});
+  restaurant.AddRow({7, "Bond's Cafe", "American", 9, 4.3});
+  database.AddTable(std::move(restaurant));
+
+  Table comment("comment", Schema({{"comment", "cid", ValueType::kInt},
+                                   {"comment", "rid", ValueType::kInt},
+                                   {"comment", "uid", ValueType::kInt},
+                                   {"comment", "comment", ValueType::kString},
+                                   {"comment", "date", ValueType::kString}}));
+  comment.AddRow({201, 1, 109, "Burger experts", "06/10"});
+  comment.AddRow({202, 4, 132, "Unique burger", "05/10"});
+  comment.AddRow({203, 4, 132, "Bad fries", "06/10"});
+  comment.AddRow({204, 2, 109, "Regret taking it", "06/10"});
+  comment.AddRow({205, 6, 180, "Thai burger", "08/11"});
+  comment.AddRow({206, 7, 171, "Nice coffee", "01/11"});
+  database.AddTable(std::move(comment));
+
+  Table customer("customer", Schema({{"customer", "uid", ValueType::kInt},
+                                     {"customer", "uname", ValueType::kString}}));
+  customer.AddRow({109, "David"});
+  customer.AddRow({120, "Ben"});
+  customer.AddRow({132, "Bill"});
+  customer.AddRow({171, "James"});
+  customer.AddRow({180, "Alan"});
+  database.AddTable(std::move(customer));
+
+  database.AddForeignKey({"comment", "rid", "restaurant", "rid"});
+  database.AddForeignKey({"comment", "uid", "customer", "uid"});
+  return database;
+}
+
+webapp::WebAppInfo MakeSearchApp() {
+  webapp::WebAppInfo app;
+  app.name = "Search";
+  app.uri = "www.example.com/Search";
+  app.query = sql::Parse(
+      "SELECT name, budget, rate, comment, uname, date "
+      "FROM restaurant LEFT JOIN (comment JOIN customer) "
+      "WHERE cuisine = $cuisine AND budget BETWEEN $min AND $max");
+  app.codec = webapp::QueryStringCodec({{"c", "cuisine"},
+                                        {"l", "min"},
+                                        {"u", "max"}});
+  return app;
+}
+
+}  // namespace dash::testing

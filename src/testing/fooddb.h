@@ -1,0 +1,30 @@
+// The paper's running example: the fooddb database (Figure 2) and the
+// Search web application (Figures 1 and 3).
+//
+// Used by the quickstart example, the unit tests that reproduce Figures
+// 5/6/9 and Example 7 literally, and the baseline demos.
+#pragma once
+
+#include "db/database.h"
+#include "webapp/query_string.h"
+
+namespace dash::testing {
+
+// restaurant / comment / customer exactly as printed in Figure 2,
+// including foreign keys comment.rid -> restaurant.rid and
+// comment.uid -> customer.uid.
+db::Database MakeFoodDb();
+
+// The Search application: URI www.example.com/Search, bindings
+// c->cuisine, l->min, u->max, and the PSJ query of Figure 3.
+//
+// Note on join shape: the figure prints
+//   (restaurant LEFT JOIN comment) JOIN customer
+// but its own Figures 1 and 5 show comment-less restaurants (Wandy's rid
+// 003) surviving into db-pages, which requires the customer join to stay
+// inside the outer side:
+//   restaurant LEFT JOIN (comment JOIN customer)
+// We use the latter so the reproduced fragments match Figure 5 exactly.
+webapp::WebAppInfo MakeSearchApp();
+
+}  // namespace dash::testing

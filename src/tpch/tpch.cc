@@ -1,0 +1,272 @@
+#include "tpch/tpch.h"
+
+#include <array>
+#include <cstdio>
+
+#include "util/random.h"
+
+namespace dash::tpch {
+
+namespace {
+
+using db::Column;
+using db::Schema;
+using db::Table;
+using db::Value;
+using db::ValueType;
+
+constexpr std::array<std::string_view, 5> kRegions = {
+    "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+
+constexpr std::array<std::string_view, 25> kNations = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",       "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",        "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",       "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",        "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+
+constexpr std::array<std::string_view, 5> kSegments = {
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"};
+
+constexpr std::array<std::string_view, 5> kPriorities = {
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+
+constexpr std::array<std::string_view, 3> kStatuses = {"F", "O", "P"};
+
+// TPC-H-flavoured word stock; the head of the Zipf distribution, so these
+// become the "hot" keywords. The tail is synthetic ("termNNNN"), giving a
+// long, sparse cold end.
+constexpr std::array<std::string_view, 96> kCommonWords = {
+    "furiously", "quickly",  "slyly",    "carefully", "blithely", "express",
+    "regular",   "special",  "final",    "pending",   "ironic",   "bold",
+    "even",      "silent",   "daring",   "unusual",   "packages", "deposits",
+    "requests",  "accounts", "instructions", "foxes", "pinto",    "beans",
+    "theodolites", "platelets", "pearls", "dolphins",  "warhorses", "asymptotes",
+    "courts",    "ideas",    "dependencies", "excuses", "sentiments", "realms",
+    "sauternes", "dugouts",  "braids",   "frets",     "sheaves",  "hockey",
+    "players",   "about",    "above",    "according", "across",   "against",
+    "along",     "alongside", "among",   "around",    "atop",     "beside",
+    "between",   "beyond",   "detect",   "haggle",    "sleep",    "nag",
+    "wake",      "cajole",   "boost",    "breach",    "doze",     "engage",
+    "grow",      "hang",     "hinder",   "integrate", "kindle",   "lose",
+    "maintain",  "mold",     "nod",      "poach",     "promise",  "snooze",
+    "solve",     "thrash",   "twist",    "unwind",    "wander",   "affix",
+    "print",     "serve",    "believe",  "doubt",     "run",      "play",
+    "use",       "impress",  "sublate",  "x-ray",     "ship",     "burnished"};
+
+constexpr std::size_t kVocabularySize = 5000;
+
+std::vector<std::string> BuildVocabulary() {
+  std::vector<std::string> vocab;
+  vocab.reserve(kVocabularySize);
+  for (std::string_view w : kCommonWords) vocab.emplace_back(w);
+  for (std::size_t i = vocab.size(); i < kVocabularySize; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "term%04zu", i);
+    vocab.emplace_back(buf);
+  }
+  return vocab;
+}
+
+const util::ZipfSampler& CommentSampler() {
+  static const util::ZipfSampler sampler(kVocabularySize, 1.0);
+  return sampler;
+}
+
+std::string MakeComment(util::SplitMix64& rng, int min_words, int max_words) {
+  const auto& vocab = Vocabulary();
+  const auto& sampler = CommentSampler();
+  int n = static_cast<int>(rng.Range(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i) out.push_back(' ');
+    out += vocab[sampler.Sample(rng)];
+  }
+  return out;
+}
+
+std::string MakeDate(util::SplitMix64& rng) {
+  int year = static_cast<int>(rng.Range(1992, 1998));
+  int month = static_cast<int>(rng.Range(1, 12));
+  int day = static_cast<int>(rng.Range(1, 28));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return buf;
+}
+
+Table MakeRegion() {
+  Table t("region", Schema({{"region", "rid", ValueType::kInt},
+                            {"region", "name", ValueType::kString},
+                            {"region", "comment", ValueType::kString}}));
+  util::SplitMix64 rng(0xF00D);
+  for (std::size_t i = 0; i < kRegions.size(); ++i) {
+    t.AddRow({Value(static_cast<std::int64_t>(i)),
+              Value(std::string(kRegions[i])), Value(MakeComment(rng, 4, 10))});
+  }
+  return t;
+}
+
+Table MakeNation() {
+  Table t("nation", Schema({{"nation", "nid", ValueType::kInt},
+                            {"nation", "name", ValueType::kString},
+                            {"nation", "rid", ValueType::kInt},
+                            {"nation", "comment", ValueType::kString}}));
+  util::SplitMix64 rng(0xBEEF);
+  for (std::size_t i = 0; i < kNations.size(); ++i) {
+    t.AddRow({Value(static_cast<std::int64_t>(i)),
+              Value(std::string(kNations[i])),
+              Value(static_cast<std::int64_t>(i % kRegions.size())),
+              Value(MakeComment(rng, 6, 14))});
+  }
+  return t;
+}
+
+}  // namespace
+
+std::string_view ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kTiny:
+      return "tiny";
+    case Scale::kSmall:
+      return "small";
+    case Scale::kMedium:
+      return "medium";
+    case Scale::kLarge:
+      return "large";
+  }
+  return "?";
+}
+
+ScaleSpec SpecFor(Scale scale) {
+  // Ratios mirror the paper's Table II (medium = 5x small, large = 10x
+  // small), downscaled to laptop size.
+  switch (scale) {
+    case Scale::kTiny:
+      return {20, 3, 3, 30};
+    case Scale::kSmall:
+      return {200, 10, 4, 200};
+    case Scale::kMedium:
+      return {1000, 10, 4, 1000};
+    case Scale::kLarge:
+      return {2000, 10, 4, 2000};
+  }
+  return {};
+}
+
+const std::vector<std::string>& Vocabulary() {
+  static const std::vector<std::string> vocab = BuildVocabulary();
+  return vocab;
+}
+
+db::Database Generate(Scale scale, std::uint64_t seed) {
+  const ScaleSpec spec = SpecFor(scale);
+  util::SplitMix64 rng(seed);
+
+  db::Database database;
+  database.AddTable(MakeRegion());
+  database.AddTable(MakeNation());
+
+  // ---- customer ----
+  {
+    Table t("customer", Schema({{"customer", "cid", ValueType::kInt},
+                                {"customer", "name", ValueType::kString},
+                                {"customer", "nid", ValueType::kInt},
+                                {"customer", "acctbal", ValueType::kDouble},
+                                {"customer", "mktsegment", ValueType::kString},
+                                {"customer", "comment", ValueType::kString}}));
+    for (int c = 0; c < spec.customers; ++c) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "Customer#%06d", c);
+      // Account balances land on cents in [-999.99, 9999.99], like dbgen.
+      double acctbal = static_cast<double>(rng.Range(-99999, 999999)) / 100.0;
+      t.AddRow({Value(static_cast<std::int64_t>(c)), Value(std::string(name)),
+                Value(rng.Range(0, static_cast<std::int64_t>(kNations.size()) - 1)),
+                Value(acctbal),
+                Value(std::string(kSegments[rng.Below(kSegments.size())])),
+                Value(MakeComment(rng, 8, 20))});
+    }
+    database.AddTable(std::move(t));
+  }
+
+  // ---- part ----
+  {
+    Table t("part", Schema({{"part", "pid", ValueType::kInt},
+                            {"part", "name", ValueType::kString},
+                            {"part", "brand", ValueType::kString},
+                            {"part", "type", ValueType::kString},
+                            {"part", "size", ValueType::kInt},
+                            {"part", "retailprice", ValueType::kDouble},
+                            {"part", "comment", ValueType::kString}}));
+    const auto& vocab = Vocabulary();
+    for (int p = 0; p < spec.parts; ++p) {
+      std::string pname = vocab[rng.Below(kCommonWords.size())] + " " +
+                          vocab[rng.Below(kCommonWords.size())];
+      char brand[16];
+      std::snprintf(brand, sizeof(brand), "Brand#%lld",
+                    static_cast<long long>(rng.Range(11, 55)));
+      t.AddRow({Value(static_cast<std::int64_t>(p)), Value(std::move(pname)),
+                Value(std::string(brand)),
+                Value(vocab[rng.Below(kCommonWords.size())]),
+                Value(rng.Range(1, 50)),
+                Value(static_cast<double>(rng.Range(90000, 200000)) / 100.0),
+                Value(MakeComment(rng, 4, 12))});
+    }
+    database.AddTable(std::move(t));
+  }
+
+  // ---- orders + lineitem ----
+  {
+    Table orders("orders", Schema({{"orders", "oid", ValueType::kInt},
+                                   {"orders", "cid", ValueType::kInt},
+                                   {"orders", "status", ValueType::kString},
+                                   {"orders", "totalprice", ValueType::kDouble},
+                                   {"orders", "odate", ValueType::kString},
+                                   {"orders", "priority", ValueType::kString},
+                                   {"orders", "comment", ValueType::kString}}));
+    Table lineitem("lineitem",
+                   Schema({{"lineitem", "lid", ValueType::kInt},
+                           {"lineitem", "oid", ValueType::kInt},
+                           {"lineitem", "pid", ValueType::kInt},
+                           {"lineitem", "qty", ValueType::kInt},
+                           {"lineitem", "price", ValueType::kDouble},
+                           {"lineitem", "discount", ValueType::kDouble},
+                           {"lineitem", "shipdate", ValueType::kString},
+                           {"lineitem", "comment", ValueType::kString}}));
+    std::int64_t next_oid = 0, next_lid = 0;
+    for (int c = 0; c < spec.customers; ++c) {
+      // 1 .. 2*avg orders per customer (mean = avg), like dbgen's spread.
+      std::int64_t norders = rng.Range(1, 2 * spec.orders_per_customer - 1);
+      for (std::int64_t o = 0; o < norders; ++o) {
+        std::int64_t oid = next_oid++;
+        orders.AddRow(
+            {Value(oid), Value(static_cast<std::int64_t>(c)),
+             Value(std::string(kStatuses[rng.Below(kStatuses.size())])),
+             Value(static_cast<double>(rng.Range(100000, 50000000)) / 100.0),
+             Value(MakeDate(rng)),
+             Value(std::string(kPriorities[rng.Below(kPriorities.size())])),
+             Value(MakeComment(rng, 6, 16))});
+        std::int64_t nitems = rng.Range(1, 2 * spec.lineitems_per_order - 1);
+        for (std::int64_t l = 0; l < nitems; ++l) {
+          lineitem.AddRow(
+              {Value(next_lid++), Value(oid),
+               Value(rng.Range(0, spec.parts - 1)),
+               Value(rng.Range(1, 50)),
+               Value(static_cast<double>(rng.Range(10000, 10000000)) / 100.0),
+               Value(static_cast<double>(rng.Range(0, 10)) / 100.0),
+               Value(MakeDate(rng)), Value(MakeComment(rng, 5, 14))});
+        }
+      }
+    }
+    database.AddTable(std::move(orders));
+    database.AddTable(std::move(lineitem));
+  }
+
+  database.AddForeignKey({"nation", "rid", "region", "rid"});
+  database.AddForeignKey({"customer", "nid", "nation", "nid"});
+  database.AddForeignKey({"orders", "cid", "customer", "cid"});
+  database.AddForeignKey({"lineitem", "oid", "orders", "oid"});
+  database.AddForeignKey({"lineitem", "pid", "part", "pid"});
+  return database;
+}
+
+}  // namespace dash::tpch

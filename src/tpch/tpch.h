@@ -1,0 +1,52 @@
+// Deterministic TPC-H-style dataset generator.
+//
+// The paper evaluates Dash on three TPC-H datasets (Table II: small /
+// medium / large, 725 MB – 7.4 GB of lineitem alone) and three application
+// queries over the relations region, nation, customer, orders, lineitem and
+// part (Table III). This generator reproduces that schema subset and its
+// referential structure at laptop scale:
+//
+//   region(rid, name, comment)                           5 rows
+//   nation(nid, name, rid, comment)                     25 rows
+//   customer(cid, name, nid, acctbal, mktsegment, comment)
+//   orders(oid, cid, status, totalprice, odate, priority, comment)
+//   lineitem(lid, oid, pid, qty, price, discount, shipdate, comment)
+//   part(pid, name, brand, type, size, retailprice, comment)
+//
+// Comment text is drawn from a fixed vocabulary with a Zipf(1.0) rank
+// distribution, so keyword document frequencies are skewed the way the
+// paper's cold/warm/hot keyword buckets (bottom/middle/top 10% by DF)
+// require. Scale ratios mirror Table II: medium = 5x small, large = 10x
+// small. Generation is fully deterministic for a given (scale, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/database.h"
+
+namespace dash::tpch {
+
+enum class Scale { kTiny, kSmall, kMedium, kLarge };
+
+std::string_view ScaleName(Scale scale);
+
+struct ScaleSpec {
+  int customers = 0;
+  int orders_per_customer = 0;   // average; actual count varies per customer
+  int lineitems_per_order = 0;   // average
+  int parts = 0;
+};
+
+ScaleSpec SpecFor(Scale scale);
+
+// Generates the full database (all six relations + foreign keys).
+db::Database Generate(Scale scale, std::uint64_t seed = 42);
+
+// Vocabulary used for comment text; rank 0 is the most frequent word.
+// Exposed so tests/benches can reason about expected DF skew.
+const std::vector<std::string>& Vocabulary();
+
+}  // namespace dash::tpch

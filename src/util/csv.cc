@@ -1,0 +1,81 @@
+#include "util/csv.h"
+
+namespace dash::util {
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view field) {
+  for (char c : field) {
+    switch (c) {
+      case '\t':
+        out.append("\\t");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+}
+
+template <typename Fields>
+std::string EncodeImpl(const Fields& fields) {
+  std::string out;
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) out.push_back('\t');
+    AppendEscaped(out, f);
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeFields(const std::vector<std::string>& fields) {
+  return EncodeImpl(fields);
+}
+
+std::string EncodeFields(const std::vector<std::string_view>& fields) {
+  return EncodeImpl(fields);
+}
+
+std::vector<std::string> DecodeFields(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '\\' && i + 1 < line.size()) {
+      char n = line[i + 1];
+      if (n == 't') {
+        cur.push_back('\t');
+        ++i;
+        continue;
+      }
+      if (n == 'n') {
+        cur.push_back('\n');
+        ++i;
+        continue;
+      }
+      if (n == '\\') {
+        cur.push_back('\\');
+        ++i;
+        continue;
+      }
+    }
+    if (c == '\t') {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace dash::util

@@ -1,0 +1,24 @@
+// Minimal delimited-record codec.
+//
+// Used by the MapReduce substrate to serialize rows into the string-typed
+// (key, value) records that flow between jobs, mirroring how Hadoop jobs
+// exchange delimited text. The escaping is lossless for arbitrary field
+// contents (tab, newline and backslash are escaped).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dash::util {
+
+// Joins fields with '\t', escaping '\t' -> "\\t", '\n' -> "\\n",
+// '\\' -> "\\\\".
+std::string EncodeFields(const std::vector<std::string>& fields);
+std::string EncodeFields(const std::vector<std::string_view>& fields);
+
+// Inverse of EncodeFields. Always returns at least one (possibly empty)
+// field, matching EncodeFields({""}).
+std::vector<std::string> DecodeFields(std::string_view line);
+
+}  // namespace dash::util

@@ -1,0 +1,39 @@
+// Minimal leveled logging. Off by default so tests and benches stay quiet;
+// examples flip the level to Info to narrate the pipeline.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dash::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line to stderr as "[LEVEL] message" when enabled.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace dash::util
+
+#define DASH_LOG(level) \
+  ::dash::util::internal::LogStream(::dash::util::LogLevel::k##level)

@@ -1,0 +1,78 @@
+// Deterministic pseudo-random utilities for workload generation.
+//
+// The TPC-H-style generator must be reproducible across runs and platforms,
+// so everything here is seed-driven with fully specified algorithms (no
+// std::uniform_int_distribution, whose output is implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace dash::util {
+
+// SplitMix64: tiny, fast, well-distributed 64-bit PRNG.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t Below(std::uint64_t n) { return Next() % n; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(Below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Zipf(s) sampler over ranks {0, 1, ..., n-1} using inverse-CDF over the
+// precomputed harmonic weights. Rank 0 is the most frequent. Used to give
+// generated comment text the skewed document-frequency distribution that
+// the paper's cold/warm/hot keyword buckets rely on.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent) : cdf_(n) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+      cdf_[i] = sum;
+    }
+    for (double& v : cdf_) v /= sum;
+  }
+
+  std::size_t Sample(SplitMix64& rng) const {
+    double u = rng.NextDouble();
+    // Binary search the first cdf_ entry >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dash::util

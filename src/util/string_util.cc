@@ -1,0 +1,179 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+
+namespace dash::util {
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> SplitWhitespace(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  std::size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  std::size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+namespace {
+template <typename Parts>
+std::string JoinImpl(const Parts& parts, std::string_view sep) {
+  std::string out;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) out.append(sep);
+    out.append(p);
+    first = false;
+  }
+  return out;
+}
+}  // namespace
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  return JoinImpl(parts, sep);
+}
+
+std::string Join(const std::vector<std::string_view>& parts,
+                 std::string_view sep) {
+  return JoinImpl(parts, sep);
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view s, std::string_view t) {
+  if (s.size() != t.size()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(s[i])) !=
+        std::tolower(static_cast<unsigned char>(t[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (EqualsIgnoreCase(haystack.substr(i, needle.size()), needle)) return true;
+  }
+  return false;
+}
+
+namespace {
+bool IsUnreserved(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ||
+         c == '.' || c == '~';
+}
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string UrlEncode(std::string_view s) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (IsUnreserved(c)) {
+      out.push_back(c);
+    } else {
+      unsigned char u = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHex[u >> 4]);
+      out.push_back(kHex[u & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      int hi = HexValue(s[i + 1]);
+      int lo = HexValue(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+        continue;
+      }
+    }
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::string HumanBytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+bool ParseInt64(std::string_view s, std::int64_t* out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end && !s.empty();
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  // std::from_chars<double> is available in libstdc++ 11+.
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace dash::util

@@ -1,0 +1,54 @@
+// String helpers shared across Dash modules.
+//
+// All functions are allocation-conscious: the split/trim family operates on
+// std::string_view and only materializes std::string where the caller needs
+// ownership.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dash::util {
+
+// Splits `s` on the single character `sep`. Empty pieces are preserved, so
+// Split("a,,b", ',') == {"a", "", "b"} and Split("", ',') == {""}.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+// Splits on any amount of ASCII whitespace; empty pieces are dropped.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+std::string Join(const std::vector<std::string_view>& parts,
+                 std::string_view sep);
+
+// ASCII-lowercases a copy of `s`.
+std::string ToLower(std::string_view s);
+
+// True if `s` equals `t` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view s, std::string_view t);
+
+// True if `haystack` contains `needle` ignoring ASCII case.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+// Percent-encodes a string for use inside a URL query component
+// (RFC 3986 unreserved characters pass through).
+std::string UrlEncode(std::string_view s);
+
+// Inverse of UrlEncode. Malformed escapes are passed through verbatim.
+std::string UrlDecode(std::string_view s);
+
+// Formats a byte count with a binary-prefix unit ("1.5 MiB").
+std::string HumanBytes(std::uint64_t bytes);
+
+// Parses a signed 64-bit integer; returns false on any non-numeric input.
+bool ParseInt64(std::string_view s, std::int64_t* out);
+
+// Parses a double; returns false on any non-numeric input.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace dash::util

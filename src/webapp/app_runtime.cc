@@ -1,0 +1,86 @@
+#include "webapp/app_runtime.h"
+
+#include <stdexcept>
+
+#include "sql/eval.h"
+#include "util/tokenizer.h"
+
+namespace dash::webapp {
+
+namespace {
+
+// Parameter name -> schema type of the column it is compared against, so
+// request strings bind with the right type.
+std::map<std::string, db::ValueType> ParamTypes(const db::Database& db,
+                                                const sql::PsjQuery& query) {
+  // Build the joined schema the predicates resolve against.
+  db::Schema joined;
+  for (const std::string& rel : query.Relations()) {
+    joined = db::Schema::Concat(joined, db.table(rel).schema());
+  }
+  std::map<std::string, db::ValueType> types;
+  for (const sql::Predicate& p : query.where) {
+    int idx = joined.IndexOf(p.column);
+    types[p.parameter] = joined.column(static_cast<std::size_t>(idx)).type;
+  }
+  return types;
+}
+
+}  // namespace
+
+WebApplication::WebApplication(const db::Database& db, WebAppInfo info)
+    : db_(db), info_(std::move(info)) {
+  // Validate the query resolves (throws early on bad relations/columns).
+  (void)sql::ResolveProjection(db_, info_.query);
+  (void)ParamTypes(db_, info_.query);
+}
+
+db::Table WebApplication::ResultFor(const HttpRequest& request) const {
+  ++stats_.requests;
+  // (a) query string parsing.
+  std::map<std::string, std::string> raw = ResolveParams(info_, request);
+  std::map<std::string, db::ValueType> types = ParamTypes(db_, info_.query);
+  std::map<std::string, db::Value> params;
+  for (const auto& [name, text] : raw) {
+    auto it = types.find(name);
+    db::ValueType type =
+        it == types.end() ? db::ValueType::kString : it->second;
+    params[name] = db::Value::Parse(text, type);
+  }
+  // (b) application query evaluation.
+  db::Table result = sql::EvalQuery(db_, info_.query, params);
+  if (result.row_count() == 0) ++stats_.empty_pages;
+  return result;
+}
+
+std::string WebApplication::HandleRequest(const HttpRequest& request) const {
+  // (c) result presentation: header line + one line per record.
+  db::Table result = ResultFor(request);
+  std::string page;
+  for (std::size_t c = 0; c < result.schema().size(); ++c) {
+    if (c) page += "\t";
+    page += result.schema().column(c).name;
+  }
+  page += "\n";
+  for (const db::Row& row : result.rows()) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) page += "\t";
+      page += row[c].ToString();
+    }
+    page += "\n";
+  }
+  return page;
+}
+
+std::size_t WebApplication::PageWordCount(const HttpRequest& request) const {
+  db::Table result = ResultFor(request);
+  util::TokenCounter counter;
+  for (const db::Row& row : result.rows()) {
+    for (const db::Value& v : row) {
+      if (!v.is_null()) counter.Add(v.ToString());
+    }
+  }
+  return counter.total();
+}
+
+}  // namespace dash::webapp

@@ -1,0 +1,64 @@
+// Executable web application model — the generalized execution of
+// Section III, run forward.
+//
+// Dash *reverse engineers* applications; this class is the forward
+// direction: given the recovered WebAppInfo and the database, it serves a
+// request through the paper's three steps — (a) query string parsing,
+// (b) application query evaluation, (c) result presentation — and returns
+// the db-page. It exists for three reasons:
+//
+//   * end-to-end verification: the URLs Dash suggests, when actually
+//     executed, must yield pages containing the queried keywords
+//     (integration tests drive this);
+//   * the "surfacing" baseline (baseline/surfacing.h): the pre-Dash
+//     approach of discovering db-pages by invoking the application with
+//     trial query strings needs an application to invoke;
+//   * demos that show the generated page contents, not just URLs.
+#pragma once
+
+#include <string>
+
+#include "db/database.h"
+#include "webapp/http.h"
+#include "webapp/query_string.h"
+
+namespace dash::webapp {
+
+struct AppStats {
+  std::size_t requests = 0;
+  std::size_t empty_pages = 0;  // requests whose result had no rows
+};
+
+class WebApplication {
+ public:
+  // `db` must outlive the application. Parameter value types are resolved
+  // from the predicate columns' schema types, so "l=10" binds as the
+  // integer 10 against an int column.
+  WebApplication(const db::Database& db, WebAppInfo info);
+
+  const WebAppInfo& info() const { return info_; }
+
+  // Step (a)+(b): evaluates the application query for the request's
+  // parameters and returns the projected result relation. Missing
+  // equality parameters throw std::runtime_error (the real application
+  // would render an error page).
+  db::Table ResultFor(const HttpRequest& request) const;
+
+  // Steps (a)+(b)+(c): renders the db-page as text (tab-separated rows
+  // under a header line — a plain-text stand-in for the HTML table of
+  // Figure 1).
+  std::string HandleRequest(const HttpRequest& request) const;
+
+  // Total words of the page a request generates (0 for empty pages);
+  // convenience for tests comparing against SearchResult::size_words.
+  std::size_t PageWordCount(const HttpRequest& request) const;
+
+  const AppStats& stats() const { return stats_; }
+
+ private:
+  const db::Database& db_;
+  WebAppInfo info_;
+  mutable AppStats stats_;
+};
+
+}  // namespace dash::webapp

@@ -1,0 +1,31 @@
+#include "webapp/http.h"
+
+namespace dash::webapp {
+
+HttpRequest ParseUrl(std::string_view url) {
+  HttpRequest request;
+  request.method = HttpMethod::kGet;
+  auto q = url.find('?');
+  if (q == std::string_view::npos) {
+    request.path = std::string(url);
+  } else {
+    request.path = std::string(url.substr(0, q));
+    request.query_string = std::string(url.substr(q + 1));
+  }
+  return request;
+}
+
+HttpRequest AsPost(const HttpRequest& get) {
+  HttpRequest post;
+  post.method = HttpMethod::kPost;
+  post.path = get.path;
+  post.body = std::string(get.EffectiveQueryString());
+  return post;
+}
+
+std::map<std::string, std::string> ResolveParams(const WebAppInfo& app,
+                                                 const HttpRequest& request) {
+  return app.codec.Parse(request.EffectiveQueryString());
+}
+
+}  // namespace dash::webapp

@@ -1,0 +1,47 @@
+// Minimal HTTP request model for db-page generation.
+//
+// Paper footnote 1: "Some query strings are provided in HTTP requests
+// through POST method. Here, we consider a query string as a part of an
+// URL, i.e., GET method, but Dash can support both GET and POST methods."
+// This module delivers that: a request carries its query string either in
+// the URL (GET) or as an application/x-www-form-urlencoded body (POST),
+// and WebAppInfo can resolve application parameters from either.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "webapp/query_string.h"
+
+namespace dash::webapp {
+
+enum class HttpMethod { kGet, kPost };
+
+struct HttpRequest {
+  HttpMethod method = HttpMethod::kGet;
+  std::string path;          // e.g. "www.example.com/Search"
+  std::string query_string;  // GET: after '?'; empty for bare URLs
+  std::string body;          // POST: form-encoded parameters
+
+  // The query string the application actually parses: URL query for GET,
+  // body for POST.
+  std::string_view EffectiveQueryString() const {
+    return method == HttpMethod::kPost ? body : query_string;
+  }
+};
+
+// Parses "host/path?query" into a GET request. A missing '?' yields an
+// empty query string.
+HttpRequest ParseUrl(std::string_view url);
+
+// Builds the POST-equivalent of a GET request (query string moved into the
+// body), mirroring how a form submission would deliver the same page.
+HttpRequest AsPost(const HttpRequest& get);
+
+// Resolves the application parameters of `request` through `app`'s codec,
+// regardless of method.
+std::map<std::string, std::string> ResolveParams(const WebAppInfo& app,
+                                                 const HttpRequest& request);
+
+}  // namespace dash::webapp

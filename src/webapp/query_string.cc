@@ -1,0 +1,62 @@
+#include "webapp/query_string.h"
+
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace dash::webapp {
+
+QueryStringCodec::QueryStringCodec(std::vector<ParamBinding> bindings)
+    : bindings_(std::move(bindings)) {
+  for (std::size_t i = 0; i < bindings_.size(); ++i) {
+    for (std::size_t j = i + 1; j < bindings_.size(); ++j) {
+      if (bindings_[i].url_field == bindings_[j].url_field ||
+          bindings_[i].parameter == bindings_[j].parameter) {
+        throw std::runtime_error("duplicate binding for field '" +
+                                 bindings_[i].url_field + "' / parameter '" +
+                                 bindings_[i].parameter + "'");
+      }
+    }
+  }
+}
+
+std::map<std::string, std::string> QueryStringCodec::Parse(
+    std::string_view query_string) const {
+  std::map<std::string, std::string> params;
+  if (query_string.empty()) return params;
+  for (std::string_view pair : util::Split(query_string, '&')) {
+    auto eq = pair.find('=');
+    std::string_view field = pair.substr(0, eq);
+    std::string value =
+        eq == std::string_view::npos ? "" : util::UrlDecode(pair.substr(eq + 1));
+    for (const ParamBinding& b : bindings_) {
+      if (b.url_field != field) continue;
+      auto [it, inserted] = params.emplace(b.parameter, std::move(value));
+      if (!inserted) {
+        throw std::runtime_error("field '" + b.url_field +
+                                 "' appears twice in query string");
+      }
+      break;
+    }
+  }
+  return params;
+}
+
+std::string QueryStringCodec::Render(
+    const std::map<std::string, std::string>& params) const {
+  std::string out;
+  for (const ParamBinding& b : bindings_) {
+    auto it = params.find(b.parameter);
+    if (it == params.end()) {
+      throw std::runtime_error("missing value for parameter '" + b.parameter +
+                               "' (url field '" + b.url_field + "')");
+    }
+    if (!out.empty()) out.push_back('&');
+    out += b.url_field;
+    out.push_back('=');
+    out += util::UrlEncode(it->second);
+  }
+  return out;
+}
+
+}  // namespace dash::webapp

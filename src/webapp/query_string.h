@@ -1,0 +1,63 @@
+// Query-string parsing and its inverse ("reverse query string parsing",
+// paper Section III).
+//
+// A web application reads URL fields into query parameters
+// (c -> cuisine, l -> min, u -> max in the paper's Search servlet). Dash
+// needs both directions: forward parsing to understand what an application
+// does with a request, and the reverse to *formulate* the query string of a
+// reconstructed db-page at search time (Algorithm 1, line 10).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sql/psj_query.h"
+
+namespace dash::webapp {
+
+// URL field <-> application query parameter.
+struct ParamBinding {
+  std::string url_field;  // e.g. "c"
+  std::string parameter;  // e.g. "cuisine" (no '$' sigil)
+};
+
+// Bidirectional codec between "f1=v1&f2=v2" query strings and
+// parameter-name -> value maps.
+class QueryStringCodec {
+ public:
+  QueryStringCodec() = default;
+  explicit QueryStringCodec(std::vector<ParamBinding> bindings);
+
+  const std::vector<ParamBinding>& bindings() const { return bindings_; }
+
+  // "c=American&l=10&u=15" -> {cuisine: American, min: 10, max: 15}.
+  // Unknown fields are ignored; values are URL-decoded. Throws on a field
+  // bound twice in the input.
+  std::map<std::string, std::string> Parse(std::string_view query_string) const;
+
+  // Inverse of Parse: renders fields in binding order, URL-encoding values.
+  // Throws std::runtime_error if a bound parameter is missing from `params`.
+  std::string Render(const std::map<std::string, std::string>& params) const;
+
+ private:
+  std::vector<ParamBinding> bindings_;
+};
+
+// Everything Dash's web application analysis recovers about one app:
+// its URI, the parameterized PSJ query it evaluates, and the query-string
+// binding used for reverse parsing.
+struct WebAppInfo {
+  std::string name;
+  std::string uri;  // e.g. "www.example.com/Search"
+  sql::PsjQuery query;
+  QueryStringCodec codec;
+
+  // Full db-page URL for concrete parameter values.
+  std::string UrlFor(const std::map<std::string, std::string>& params) const {
+    return uri + "?" + codec.Render(params);
+  }
+};
+
+}  // namespace dash::webapp

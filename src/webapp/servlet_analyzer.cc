@@ -1,0 +1,265 @@
+#include "webapp/servlet_analyzer.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "sql/parser.h"
+#include "util/string_util.h"
+
+namespace dash::webapp {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Blanks out // and /* */ comments (preserving string literals and
+// positions) so commented-out getParameter calls or SQL do not confuse the
+// extraction passes.
+std::string StripComments(std::string_view source) {
+  std::string out(source);
+  std::size_t i = 0;
+  while (i < out.size()) {
+    char c = out[i];
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      while (i < out.size() && out[i] != quote) {
+        i += out[i] == '\\' ? 2 : 1;
+      }
+      ++i;  // closing quote (or end)
+      continue;
+    }
+    if (c == '/' && i + 1 < out.size() && out[i + 1] == '/') {
+      while (i < out.size() && out[i] != '\n') out[i++] = ' ';
+      continue;
+    }
+    if (c == '/' && i + 1 < out.size() && out[i + 1] == '*') {
+      out[i] = out[i + 1] = ' ';
+      i += 2;
+      while (i < out.size() &&
+             !(out[i] == '*' && i + 1 < out.size() && out[i + 1] == '/')) {
+        if (out[i] != '\n') out[i] = ' ';
+        ++i;
+      }
+      if (i < out.size()) {
+        out[i] = out[i + 1] = ' ';
+        i += 2;
+      }
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+// Reads a quoted literal starting at s[i] (which must be '"' or '\'');
+// returns the unescaped content and advances i past the closing quote.
+std::string ReadLiteral(std::string_view s, std::size_t& i) {
+  char quote = s[i];
+  ++i;
+  std::string out;
+  while (i < s.size() && s[i] != quote) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      out.push_back(s[i + 1]);
+      i += 2;
+      continue;
+    }
+    out.push_back(s[i]);
+    ++i;
+  }
+  if (i >= s.size()) {
+    throw AnalysisError("unterminated string literal in servlet source");
+  }
+  ++i;  // closing quote
+  return out;
+}
+
+// The identifier ending just before position `end` (skipping trailing
+// whitespace); empty if none.
+std::string IdentBefore(std::string_view s, std::size_t end) {
+  std::size_t e = end;
+  while (e > 0 && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  std::size_t b = e;
+  while (b > 0 && IsIdentChar(s[b - 1])) --b;
+  return std::string(s.substr(b, e - b));
+}
+
+// Extracts `var = x.getParameter("field")` bindings, in source order.
+std::vector<ParamBinding> ExtractBindings(std::string_view source) {
+  std::vector<ParamBinding> bindings;
+  static constexpr std::string_view kCall = ".getParameter(";
+  std::size_t pos = 0;
+  while ((pos = source.find(kCall, pos)) != std::string_view::npos) {
+    std::size_t i = pos + kCall.size();
+    while (i < source.size() && std::isspace(static_cast<unsigned char>(source[i]))) ++i;
+    if (i >= source.size() || (source[i] != '"' && source[i] != '\'')) {
+      throw AnalysisError(
+          "getParameter argument is not a string literal; cannot deduce the "
+          "URL field statically");
+    }
+    std::string field = ReadLiteral(source, i);
+
+    // Walk left: receiver identifier, then '=', then the assigned variable.
+    std::string receiver = IdentBefore(source, pos);
+    std::size_t eq = pos - receiver.size();
+    while (eq > 0 && std::isspace(static_cast<unsigned char>(source[eq - 1]))) --eq;
+    if (eq == 0 || source[eq - 1] != '=') {
+      throw AnalysisError("getParameter result is not assigned to a variable");
+    }
+    std::string var = IdentBefore(source, eq - 1);
+    if (var.empty()) {
+      throw AnalysisError("cannot determine variable assigned from getParameter");
+    }
+    bindings.push_back(ParamBinding{std::move(field), std::move(var)});
+    pos = i;
+  }
+  if (bindings.empty()) {
+    throw AnalysisError("no getParameter calls found in servlet source");
+  }
+  return bindings;
+}
+
+// Symbolically evaluates the string-concatenation expression starting at
+// `i` (just past '='): literals contribute their text, identifiers
+// contribute "$ident". Stops at ';'.
+std::string EvalConcatenation(std::string_view source, std::size_t i) {
+  std::string out;
+  while (i < source.size() && source[i] != ';') {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '+') {
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      out += ReadLiteral(source, i);
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      std::size_t b = i;
+      while (i < source.size() && IsIdentChar(source[i])) ++i;
+      out += "$";
+      out += source.substr(b, i - b);
+      continue;
+    }
+    throw AnalysisError(std::string("unexpected character '") + c +
+                        "' in SQL concatenation expression");
+  }
+  return out;
+}
+
+// Finds the assignment whose concatenated value contains SELECT and
+// returns the parameterized SQL text.
+std::string ExtractSql(std::string_view source) {
+  std::size_t pos = 0;
+  while ((pos = source.find('=', pos)) != std::string_view::npos) {
+    // Skip ==, <=, >=, != comparisons.
+    if ((pos + 1 < source.size() && source[pos + 1] == '=') ||
+        (pos > 0 && (source[pos - 1] == '=' || source[pos - 1] == '<' ||
+                     source[pos - 1] == '>' || source[pos - 1] == '!'))) {
+      ++pos;
+      continue;
+    }
+    std::size_t i = pos + 1;
+    while (i < source.size() && std::isspace(static_cast<unsigned char>(source[i]))) ++i;
+    if (i < source.size() && (source[i] == '"' || source[i] == '\'')) {
+      std::string value;
+      try {
+        value = EvalConcatenation(source, i);
+      } catch (const AnalysisError&) {
+        ++pos;
+        continue;
+      }
+      if (util::ContainsIgnoreCase(value, "select")) return value;
+    }
+    ++pos;
+  }
+  throw AnalysisError("no SQL query assignment found in servlet source");
+}
+
+// The servlet splices parameters inside SQL quotes (cuisine = "$cuisine");
+// our PSJ dialect wants bare $params. Also BETWEEN operands arrive quoted.
+std::string StripParamQuotes(std::string value) {
+  std::string out;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if ((value[i] == '"' || value[i] == '\'') && i + 1 < value.size() &&
+        value[i + 1] == '$') {
+      char quote = value[i];
+      std::size_t j = i + 1;
+      std::size_t b = j + 1;
+      ++j;
+      while (j < value.size() && IsIdentChar(value[j])) ++j;
+      if (j < value.size() && value[j] == quote && j > b) {
+        out += "$";
+        out += value.substr(b, j - b);
+        i = j;
+        continue;
+      }
+    }
+    out.push_back(value[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+WebAppInfo AnalyzeServlet(std::string_view source, std::string name,
+                          std::string uri) {
+  std::string stripped = StripComments(source);
+  std::vector<ParamBinding> bindings = ExtractBindings(stripped);
+  std::string sql = StripParamQuotes(ExtractSql(stripped));
+
+  WebAppInfo info;
+  info.name = std::move(name);
+  info.uri = std::move(uri);
+  try {
+    info.query = sql::Parse(sql);
+  } catch (const sql::ParseError& e) {
+    throw AnalysisError("recovered SQL is not a valid PSJ query: " + sql +
+                        " (" + e.what() + ")");
+  }
+
+  // Keep only bindings whose parameter actually appears in the query; the
+  // servlet may read fields it never uses in SQL.
+  std::vector<ParamBinding> used;
+  for (const ParamBinding& b : bindings) {
+    for (const sql::Predicate& p : info.query.where) {
+      if (p.parameter == b.parameter) {
+        used.push_back(b);
+        break;
+      }
+    }
+  }
+  if (used.empty()) {
+    throw AnalysisError(
+        "no getParameter variable flows into the SQL query parameters");
+  }
+  info.codec = QueryStringCodec(std::move(used));
+  return info;
+}
+
+std::string_view ExampleSearchServletSource() {
+  // Paper Figure 3, transcribed (single-quote string literals as printed).
+  static constexpr std::string_view kSource = R"java(
+public class Search extends HttpServlet {
+  public void doGet(HttpServletRequest q, HttpServletResponse p) {
+    String cuisine = q.getParameter('c');
+    String min = q.getParameter('l');
+    String max = q.getParameter('u');
+    Connection cn = pool.getConnection();
+    Q = 'SELECT name, budget, rate, comment, uname,' +
+        ' date FROM (restaurant LEFT JOIN comment) ' +
+        ' JOIN customer WHERE (cuisine = "' + cuisine +
+        '") AND (budget BETWEEN ' + min + ' AND '
+        + max + ')';
+    ResultSet r = cn.createStatement().executeQuery(Q);
+    output(p, r);
+  }
+}
+)java";
+  return kSource;
+}
+
+}  // namespace dash::webapp

@@ -1,0 +1,42 @@
+// Web application analysis (paper Sections III-IV).
+//
+// The paper assumes a web application's execution decomposes into (a) query
+// string parsing, (b) application query evaluation, (c) result
+// presentation, and recovers (a)+(b) by static analysis of the servlet
+// source (its Figure 3). This analyzer implements that recovery for
+// Java-servlet-style sources:
+//
+//   * `String cuisine = q.getParameter("c");` binds URL field "c" to query
+//     parameter `cuisine` (the data-flow step of the paper's analysis);
+//   * the SQL string assembled by concatenating literals and those
+//     variables, e.g.
+//       Q = "SELECT ... WHERE (cuisine = \"" + cuisine + "\") AND ..."
+//     is symbolically evaluated into the parameterized text
+//       SELECT ... WHERE (cuisine = $cuisine) AND ...
+//     and parsed into a PsjQuery.
+//
+// Both '"' and '\'' string literal quotes are accepted (the paper's figure
+// uses single quotes).
+#pragma once
+
+#include <string_view>
+
+#include "webapp/query_string.h"
+
+namespace dash::webapp {
+
+class AnalysisError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Analyzes servlet-style `source`; `name` and `uri` identify the deployed
+// application. Throws AnalysisError when no parameter bindings or no SQL
+// query can be recovered.
+WebAppInfo AnalyzeServlet(std::string_view source, std::string name,
+                          std::string uri);
+
+// The paper's Figure 3 Search servlet, usable as a demo/test fixture.
+std::string_view ExampleSearchServletSource();
+
+}  // namespace dash::webapp

@@ -1,0 +1,134 @@
+// Web-application runtime tests, including the reproduction's strongest
+// end-to-end property: every URL Dash suggests, when actually EXECUTED by
+// the application, generates a db-page that contains the queried keywords
+// and has exactly the word count the search result reported.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dash_engine.h"
+#include "sql/parser.h"
+#include "testing/fooddb.h"
+#include "tpch/tpch.h"
+#include "util/tokenizer.h"
+#include "webapp/app_runtime.h"
+
+namespace dash::webapp {
+namespace {
+
+class AppRuntimeTest : public ::testing::Test {
+ protected:
+  AppRuntimeTest()
+      : db_(dash::testing::MakeFoodDb()),
+        app_(db_, dash::testing::MakeSearchApp()) {}
+
+  db::Database db_;
+  WebApplication app_;
+};
+
+TEST_F(AppRuntimeTest, GeneratesExample1PageP1) {
+  // Example 1: c=American&l=10&u=15 -> P1 with Burger Queen + Wandy's x3.
+  db::Table p1 = app_.ResultFor(
+      ParseUrl("www.example.com/Search?c=American&l=10&u=15"));
+  EXPECT_EQ(p1.row_count(), 4u);
+  std::string page = app_.HandleRequest(
+      ParseUrl("www.example.com/Search?c=American&l=10&u=15"));
+  EXPECT_NE(page.find("Burger Queen"), std::string::npos);
+  EXPECT_NE(page.find("Wandy's"), std::string::npos);
+  EXPECT_EQ(page.find("McRonald's"), std::string::npos);
+}
+
+TEST_F(AppRuntimeTest, GeneratesExample1PageP2) {
+  // P2: upper bound 20 additionally includes McRonald's.
+  std::string page = app_.HandleRequest(
+      ParseUrl("www.example.com/Search?c=American&l=10&u=20"));
+  EXPECT_NE(page.find("McRonald's"), std::string::npos);
+}
+
+TEST_F(AppRuntimeTest, PostServesTheSamePage) {
+  HttpRequest get = ParseUrl("www.example.com/Search?c=Thai&l=10&u=10");
+  EXPECT_EQ(app_.HandleRequest(get), app_.HandleRequest(AsPost(get)));
+}
+
+TEST_F(AppRuntimeTest, EmptyPagesAreCounted) {
+  (void)app_.ResultFor(ParseUrl("www.example.com/Search?c=French&l=1&u=2"));
+  (void)app_.ResultFor(ParseUrl("www.example.com/Search?c=Thai&l=10&u=10"));
+  EXPECT_EQ(app_.stats().requests, 2u);
+  EXPECT_EQ(app_.stats().empty_pages, 1u);
+}
+
+TEST_F(AppRuntimeTest, ParameterTypesBindFromSchema) {
+  // budget is an int column: "l=10" must bind as integer 10, not "10".
+  db::Table page = app_.ResultFor(
+      ParseUrl("www.example.com/Search?c=American&l=9&u=9"));
+  EXPECT_EQ(page.row_count(), 1u);  // Bond's Cafe
+}
+
+TEST_F(AppRuntimeTest, MissingEqualityParameterThrows) {
+  EXPECT_THROW(app_.ResultFor(ParseUrl("www.example.com/Search?l=1&u=2")),
+               std::runtime_error);
+}
+
+TEST_F(AppRuntimeTest, InvalidQueryRejectedAtConstruction) {
+  WebAppInfo bad = dash::testing::MakeSearchApp();
+  bad.query = sql::Parse("SELECT nope FROM restaurant WHERE cuisine = $c");
+  EXPECT_THROW(WebApplication(db_, bad), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// The premise of the whole system, verified end to end: suggested URLs,
+// when executed, deliver pages containing the queried keywords with
+// exactly the advertised word counts.
+// ---------------------------------------------------------------------
+
+class SuggestedUrlTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SuggestedUrlTest, ExecutedUrlsContainTheKeywordsOnFoodDb) {
+  db::Database db = dash::testing::MakeFoodDb();
+  WebAppInfo info = dash::testing::MakeSearchApp();
+  core::BuildOptions options;
+  options.algorithm = core::CrawlAlgorithm::kIntegrated;
+  core::DashEngine engine = core::DashEngine::Build(db, info, options);
+  WebApplication runtime(db, info);
+
+  const std::string keyword = GetParam();
+  for (const auto& r : engine.Search({keyword}, 5, 20)) {
+    HttpRequest request = ParseUrl(r.url);
+    std::string page = runtime.HandleRequest(request);
+    // The page contains the queried keyword...
+    auto tokens = util::Tokenize(page);
+    EXPECT_NE(std::find(tokens.begin(), tokens.end(), keyword), tokens.end())
+        << r.url << " does not contain '" << keyword << "'";
+    // ...and exactly as many words as the search result advertised.
+    EXPECT_EQ(runtime.PageWordCount(request), r.size_words) << r.url;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Keywords, SuggestedUrlTest,
+                         ::testing::Values("burger", "fries", "coffee",
+                                           "bill", "thai"));
+
+TEST(SuggestedUrlTpch, ExecutedUrlsMatchAdvertisedSizes) {
+  db::Database db = tpch::Generate(tpch::Scale::kTiny);
+  WebAppInfo info;
+  info.name = "Q2";
+  info.uri = "example.com/q2";
+  info.query = sql::Parse(
+      "SELECT * FROM (customer JOIN orders) JOIN lineitem "
+      "WHERE customer.cid = $r AND qty BETWEEN $min AND $max");
+  info.codec =
+      QueryStringCodec({{"r", "r"}, {"l", "min"}, {"u", "max"}});
+  core::BuildOptions options;
+  options.algorithm = core::CrawlAlgorithm::kReference;
+  core::DashEngine engine = core::DashEngine::Build(db, info, options);
+  WebApplication runtime(db, info);
+
+  auto by_df = engine.index().KeywordsByDf();
+  ASSERT_FALSE(by_df.empty());
+  for (const auto& r : engine.Search({by_df.front().first}, 5, 150)) {
+    EXPECT_EQ(runtime.PageWordCount(ParseUrl(r.url)), r.size_words) << r.url;
+  }
+}
+
+}  // namespace
+}  // namespace dash::webapp

@@ -1,0 +1,208 @@
+// Baseline tests: the DISCOVER-style relational keyword search reproduces
+// the paper's Section II example, and the whole-page engine exhibits the
+// blow-up and redundancy that motivate fragments (Section IV).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/page_engine.h"
+#include "baseline/rdb_keyword_search.h"
+#include "core/dash_engine.h"
+#include "sql/parser.h"
+#include "testing/fooddb.h"
+
+namespace dash::baseline {
+namespace {
+
+// ---------- Relational keyword search (Section II) ----------
+
+TEST(RelationalKeywordSearch, PaperBurgerExample) {
+  db::Database db = dash::testing::MakeFoodDb();
+  auto results = RelationalKeywordSearch(db, {"burger"});
+
+  // The paper's three result records:
+  //   1) comment 205 ("Thai burger") alone,
+  //   2) comment 202 ("Unique burger") alone,
+  //   3) restaurant 001 |x| comment 201 ("Burger experts").
+  ASSERT_EQ(results.size(), 3u);
+  std::vector<std::string> rendered;
+  for (const auto& r : results) rendered.push_back(r.ToString(db));
+  std::sort(rendered.begin(), rendered.end());
+  EXPECT_EQ(rendered[0],
+            "comment(201, 1, 109, Burger experts, 06/10) |x| "
+            "restaurant(1, Burger Queen, American, 10, 4.3)");
+  EXPECT_EQ(rendered[1], "comment(202, 4, 132, Unique burger, 05/10)");
+  EXPECT_EQ(rendered[2], "comment(205, 6, 180, Thai burger, 08/11)");
+}
+
+TEST(RelationalKeywordSearch, DefectNoContextRows) {
+  // The defect Section II calls out: result 205 lacks its restaurant
+  // (Bangkok) because that record does not contain "burger".
+  db::Database db = dash::testing::MakeFoodDb();
+  auto results = RelationalKeywordSearch(db, {"burger"});
+  bool any_single_comment = false;
+  for (const auto& r : results) {
+    if (r.records.size() == 1 && r.records[0].table == "comment") {
+      any_single_comment = true;
+    }
+  }
+  EXPECT_TRUE(any_single_comment);
+}
+
+TEST(RelationalKeywordSearch, DefectCustomerWithoutComments) {
+  // Another Section II defect: searching the author's name returns the
+  // bare customer record — the comments David wrote do not contain
+  // "david", so they are not joined in.
+  db::Database db = dash::testing::MakeFoodDb();
+  auto results = RelationalKeywordSearch(db, {"david"});
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].records.size(), 1u);
+  EXPECT_EQ(results[0].records[0].table, "customer");
+}
+
+TEST(RelationalKeywordSearch, MatchesAcrossFkChains) {
+  // Multi-keyword query: "queen" matches restaurant 1, "experts" matches
+  // comment 201, and the FK link merges them into one joined result.
+  db::Database db = dash::testing::MakeFoodDb();
+  auto results = RelationalKeywordSearch(db, {"queen", "experts"});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].records.size(), 2u);
+  EXPECT_EQ(results[0].ToString(db),
+            "comment(201, 1, 109, Burger experts, 06/10) |x| "
+            "restaurant(1, Burger Queen, American, 10, 4.3)");
+}
+
+TEST(RelationalKeywordSearch, NoMatches) {
+  db::Database db = dash::testing::MakeFoodDb();
+  EXPECT_TRUE(RelationalKeywordSearch(db, {"pizza"}).empty());
+}
+
+TEST(RelationalKeywordSearch, MatchIsCaseInsensitiveSubstring) {
+  db::Database db = dash::testing::MakeFoodDb();
+  EXPECT_FALSE(RelationalKeywordSearch(db, {"BURG"}).empty());
+}
+
+TEST(RecordMatches, ChecksEveryAttribute) {
+  db::Row row = {db::Value(1), db::Value("Burger Queen"), db::Value(4.3)};
+  EXPECT_TRUE(RecordMatches(row, {"queen"}));
+  EXPECT_TRUE(RecordMatches(row, {"4.3"}));
+  EXPECT_FALSE(RecordMatches(row, {"king"}));
+  EXPECT_TRUE(RecordMatches(row, {"king", "queen"}));  // any keyword
+}
+
+// ---------- Whole-page engine (Section IV's intuitive approach) ----------
+
+class PageEngineTest : public ::testing::Test {
+ protected:
+  PageEngineTest()
+      : db_(dash::testing::MakeFoodDb()),
+        engine_(db_, dash::testing::MakeSearchApp()) {}
+
+  db::Database db_;
+  PageEngine engine_;
+};
+
+TEST_F(PageEngineTest, EnumeratesAllCanonicalPages) {
+  // American group: 4 range values -> 10 intervals; Thai: 1 -> 1 page.
+  EXPECT_EQ(engine_.page_count(), 11u);
+  EXPECT_FALSE(engine_.truncated());
+}
+
+TEST_F(PageEngineTest, PageBlowUpVersusFragments) {
+  // 11 pages vs 5 fragments, and duplicated words: the American chain's
+  // content is stored in every covering interval.
+  core::Crawler crawler(db_, dash::testing::MakeSearchApp().query);
+  core::FragmentIndexBuild build = crawler.BuildIndex();
+  EXPECT_GT(engine_.page_count(), build.catalog.size());
+  std::uint64_t fragment_words = 0;
+  for (std::size_t f = 0; f < build.catalog.size(); ++f) {
+    fragment_words +=
+        build.catalog.keyword_total(static_cast<core::FragmentHandle>(f));
+  }
+  EXPECT_GT(engine_.TotalPageWords(), 2 * fragment_words);
+}
+
+TEST_F(PageEngineTest, SearchFindsCoveringPages) {
+  auto results = engine_.Search({"burger"}, 20);
+  // Every page containing a burger fragment qualifies: of the 10 American
+  // intervals over budgets {9,10,12,18}, the 8 covering value 10 or 12,
+  // plus the Thai page ("Thai burger") -> 9.
+  EXPECT_EQ(results.size(), 9u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.score, 0.0);
+    EXPECT_FALSE(r.url.empty());
+  }
+}
+
+TEST_F(PageEngineTest, TopResultsAreRedundant) {
+  // The paper's P1-vs-P2 problem: content-covered pages crowd the top-k.
+  auto results = engine_.Search({"burger"}, 10);
+  EXPECT_GT(PageEngine::RedundantFraction(results), 0.4);
+}
+
+TEST_F(PageEngineTest, DashResultsAreNotRedundant) {
+  core::BuildOptions options;
+  options.algorithm = core::CrawlAlgorithm::kReference;
+  core::DashEngine dash =
+      core::DashEngine::Build(db_, dash::testing::MakeSearchApp(), options);
+  auto results = dash.Search({"burger"}, 10, 20);
+  // Convert for the shared redundancy measure.
+  std::vector<PageResult> as_pages;
+  for (const auto& r : results) {
+    as_pages.push_back(PageResult{r.url, r.score, r.size_words, r.fragments});
+  }
+  EXPECT_DOUBLE_EQ(PageEngine::RedundantFraction(as_pages), 0.0);
+}
+
+TEST_F(PageEngineTest, MaxPagesTruncates) {
+  PageEngineOptions options;
+  options.max_pages = 3;
+  PageEngine truncated(db_, dash::testing::MakeSearchApp(), options);
+  EXPECT_EQ(truncated.page_count(), 3u);
+  EXPECT_TRUE(truncated.truncated());
+}
+
+TEST_F(PageEngineTest, IndexSizeExceedsFragmentIndex) {
+  core::Crawler crawler(db_, dash::testing::MakeSearchApp().query);
+  core::FragmentIndexBuild build = crawler.BuildIndex();
+  EXPECT_GT(engine_.IndexSizeBytes(), build.index.SizeBytes());
+}
+
+TEST(PageEngine, RejectsMultiRangeQueries) {
+  db::Database db = dash::testing::MakeFoodDb();
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+  app.query = sql::Parse(
+      "SELECT name FROM restaurant "
+      "WHERE budget BETWEEN $a AND $b AND rate BETWEEN $c AND $d");
+  app.codec = webapp::QueryStringCodec(
+      {{"a", "a"}, {"b", "b"}, {"c", "c"}, {"d", "d"}});
+  EXPECT_THROW(PageEngine(db, app), std::runtime_error);
+}
+
+TEST(PageEngine, NoRangeAttributeYieldsOnePagePerFragment) {
+  db::Database db = dash::testing::MakeFoodDb();
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+  app.query = sql::Parse("SELECT name, budget FROM restaurant "
+                         "WHERE cuisine = $cuisine");
+  app.codec = webapp::QueryStringCodec(
+      std::vector<webapp::ParamBinding>{{"c", "cuisine"}});
+  PageEngine engine(db, app);
+  EXPECT_EQ(engine.page_count(), 2u);  // American, Thai
+}
+
+TEST(RedundantFraction, EmptyAndDisjoint) {
+  EXPECT_DOUBLE_EQ(PageEngine::RedundantFraction({}), 0.0);
+  std::vector<PageResult> disjoint = {
+      {"u1", 1.0, 5, {0, 1}},
+      {"u2", 0.5, 5, {2}},
+  };
+  EXPECT_DOUBLE_EQ(PageEngine::RedundantFraction(disjoint), 0.0);
+  std::vector<PageResult> covered = {
+      {"u1", 1.0, 5, {0, 1, 2}},
+      {"u2", 0.5, 5, {1, 2}},
+  };
+  EXPECT_DOUBLE_EQ(PageEngine::RedundantFraction(covered), 0.5);
+}
+
+}  // namespace
+}  // namespace dash::baseline

@@ -1,0 +1,130 @@
+// Composition tests: the extension modules chained the way a deployment
+// would chain them — crawl, prune, persist, reload, shard, update — must
+// commute with the direct path.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/index_io.h"
+#include "core/multi_app.h"
+#include "core/index_update.h"
+#include "core/pruning.h"
+#include "core/result_cache.h"
+#include "core/sharded_engine.h"
+#include "sql/parser.h"
+#include "testing/fooddb.h"
+#include "tpch/tpch.h"
+
+namespace dash::core {
+namespace {
+
+webapp::WebAppInfo TpchApp() {
+  webapp::WebAppInfo app;
+  app.name = "Q2";
+  app.uri = "example.com/q2";
+  app.query = sql::Parse(
+      "SELECT * FROM (customer JOIN orders) JOIN lineitem "
+      "WHERE customer.cid = $r AND qty BETWEEN $min AND $max");
+  app.codec =
+      webapp::QueryStringCodec({{"r", "r"}, {"l", "min"}, {"u", "max"}});
+  return app;
+}
+
+std::multiset<std::string> Urls(const std::vector<SearchResult>& results) {
+  std::multiset<std::string> urls;
+  for (const auto& r : results) urls.insert(r.url);
+  return urls;
+}
+
+TEST(Composition, CrawlPruneSaveLoadSearch) {
+  // MR crawl -> prune -> persist -> reload: the reloaded engine answers
+  // like the engine pruned in memory.
+  db::Database db = tpch::Generate(tpch::Scale::kTiny);
+  webapp::WebAppInfo app = TpchApp();
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kIntegrated;
+  options.min_fragment_keywords = 40;
+  DashEngine pruned = DashEngine::Build(db, app, options);
+
+  std::stringstream buffer;
+  SaveEngine(pruned, buffer);
+  DashEngine loaded = LoadEngine(buffer);
+
+  EXPECT_EQ(loaded.catalog().size(), pruned.catalog().size());
+  auto by_df = pruned.index().KeywordsByDf();
+  ASSERT_FALSE(by_df.empty());
+  const std::string hot = by_df.front().first;
+  EXPECT_EQ(Urls(loaded.Search({hot}, 5, 100)),
+            Urls(pruned.Search({hot}, 5, 100)));
+}
+
+TEST(Composition, UpdateThenShardThenSearch) {
+  // Incremental updates feed a sharded serving deployment.
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+  UpdatableIndex updatable(dash::testing::MakeFoodDb(), app.query);
+  updatable.Insert("restaurant", {8, "Shard Shack", "American", 11, 4.4});
+  updatable.Insert("comment", {210, 8, 120, "Sharded burgers", "01/12"});
+
+  ShardedEngine sharded(app, updatable.CopyBuild(), 3);
+  EXPECT_EQ(sharded.fragment_count(), 6u);
+  auto results = sharded.Search({"sharded"}, 1, 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].url, "www.example.com/Search?c=American&l=11&u=11");
+}
+
+TEST(Composition, UpdateInvalidatesResultCache) {
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+  UpdatableIndex updatable(dash::testing::MakeFoodDb(), app.query);
+
+  DashEngine engine = DashEngine::FromParts(app, updatable.CopyBuild());
+  CachingEngine caching(engine, 16);
+  EXPECT_TRUE(caching.Search({"shiny"}, 1, 1).empty());
+
+  // The database changes; a fresh engine serves the new index and the
+  // cache is invalidated (stale empty answer must not stick).
+  updatable.Insert("restaurant", {9, "Shiny Diner", "American", 13, 4.9});
+  DashEngine updated = DashEngine::FromParts(app, updatable.CopyBuild());
+  CachingEngine updated_caching(updated, 16);
+  updated_caching.OnIndexChanged();
+  EXPECT_EQ(updated_caching.Search({"shiny"}, 1, 1).size(), 1u);
+}
+
+TEST(Composition, PrunedShardedAgreesWithPrunedSingle) {
+  db::Database db = tpch::Generate(tpch::Scale::kTiny);
+  webapp::WebAppInfo app = TpchApp();
+  FragmentIndexBuild build = Crawler(db, app.query).BuildIndex();
+  FragmentIndexBuild pruned = PruneFragments(build, 40, nullptr);
+
+  DashEngine single = DashEngine::FromParts(app, PruneFragments(build, 40));
+  ShardedEngine sharded(app, std::move(pruned), 4);
+  EXPECT_EQ(sharded.fragment_count(), single.catalog().size());
+
+  auto by_df = single.index().KeywordsByDf();
+  const std::string hot = by_df.front().first;
+  EXPECT_EQ(Urls(sharded.Search({hot}, 8, 120)),
+            Urls(single.Search({hot}, 8, 120)));
+}
+
+TEST(Composition, MirrorEnginesFromDifferentCrawlAlgorithmsDeduplicate) {
+  // SW-built and INT-built engines over the same app produce identical
+  // content hashes, so a federation of both collapses to one result set.
+  db::Database db = dash::testing::MakeFoodDb();
+  BuildOptions sw, integrated;
+  sw.algorithm = CrawlAlgorithm::kStepwise;
+  integrated.algorithm = CrawlAlgorithm::kIntegrated;
+
+  webapp::WebAppInfo a = dash::testing::MakeSearchApp();
+  webapp::WebAppInfo b = dash::testing::MakeSearchApp();
+  b.name = "SearchB";
+  b.uri = "b.example.com/Search";
+
+  MultiAppEngine multi;
+  multi.AddApp(DashEngine::Build(db, a, sw));
+  multi.AddApp(DashEngine::Build(db, b, integrated));
+  auto results = multi.Search({"burger"}, 10, 20);
+  EXPECT_EQ(results.size(), 2u);  // deduplicated to one app's pages
+}
+
+}  // namespace
+}  // namespace dash::core

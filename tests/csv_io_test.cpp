@@ -1,0 +1,86 @@
+// Table/database persistence tests.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "db/csv_io.h"
+#include "testing/fooddb.h"
+#include "tpch/tpch.h"
+
+namespace dash::db {
+namespace {
+
+TEST(CsvIo, TableRoundTrip) {
+  Database db = dash::testing::MakeFoodDb();
+  std::stringstream buffer;
+  SaveTable(db.table("restaurant"), buffer);
+  Table loaded = LoadTable(buffer);
+  EXPECT_EQ(loaded.name(), "restaurant");
+  EXPECT_EQ(loaded.schema().ToString(), db.table("restaurant").schema().ToString());
+  EXPECT_EQ(loaded.rows(), db.table("restaurant").rows());
+}
+
+TEST(CsvIo, TableRoundTripWithNullsAndSpecials) {
+  Table t("t", Schema({{"t", "a", ValueType::kInt},
+                       {"t", "b", ValueType::kString},
+                       {"t", "c", ValueType::kDouble}}));
+  t.AddRow({Value::Null(), "tab\tnewline\n", 1.5});
+  t.AddRow({7, Value::Null(), Value::Null()});
+  std::stringstream buffer;
+  SaveTable(t, buffer);
+  Table loaded = LoadTable(buffer);
+  EXPECT_EQ(loaded.rows(), t.rows());
+}
+
+TEST(CsvIo, MalformedTableRejected) {
+  std::stringstream empty("");
+  EXPECT_THROW(LoadTable(empty), CsvIoError);
+  std::stringstream no_columns("justname\n");
+  EXPECT_THROW(LoadTable(no_columns), CsvIoError);
+  std::stringstream bad_type("t\ta:widget\n");
+  EXPECT_THROW(LoadTable(bad_type), CsvIoError);
+  std::stringstream bad_arity("t\ta:int\n1\t2\n");
+  EXPECT_THROW(LoadTable(bad_arity), std::runtime_error);
+}
+
+TEST(CsvIo, DatabaseRoundTrip) {
+  namespace fs = std::filesystem;
+  Database db = dash::testing::MakeFoodDb();
+  fs::path dir = fs::path(::testing::TempDir()) / "dash_csv_io_test";
+  fs::create_directories(dir);
+
+  SaveDatabase(db, dir.string());
+  Database loaded = LoadDatabase(dir.string());
+
+  EXPECT_EQ(loaded.TableNames(), db.TableNames());
+  for (const std::string& name : db.TableNames()) {
+    EXPECT_EQ(loaded.table(name).rows(), db.table(name).rows()) << name;
+  }
+  ASSERT_EQ(loaded.foreign_keys().size(), db.foreign_keys().size());
+  EXPECT_EQ(loaded.foreign_keys()[0].from_table,
+            db.foreign_keys()[0].from_table);
+  fs::remove_all(dir);
+}
+
+TEST(CsvIo, TpchDatabaseRoundTrip) {
+  namespace fs = std::filesystem;
+  Database db = dash::tpch::Generate(dash::tpch::Scale::kTiny);
+  fs::path dir = fs::path(::testing::TempDir()) / "dash_csv_io_tpch";
+  fs::create_directories(dir);
+  SaveDatabase(db, dir.string());
+  Database loaded = LoadDatabase(dir.string());
+  for (const std::string& name : db.TableNames()) {
+    EXPECT_EQ(loaded.table(name).rows(), db.table(name).rows()) << name;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CsvIo, MissingDirectoryThrows) {
+  Database db = dash::testing::MakeFoodDb();
+  EXPECT_THROW(SaveDatabase(db, "/nonexistent/dir"), CsvIoError);
+  EXPECT_THROW(LoadDatabase("/nonexistent/dir"), CsvIoError);
+}
+
+}  // namespace
+}  // namespace dash::db

@@ -1,0 +1,258 @@
+// Unit tests for the relational engine substrate (src/db).
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "db/ops.h"
+#include "testing/fooddb.h"
+
+namespace dash::db {
+namespace {
+
+// ---------- Value ----------
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value(5).type(), ValueType::kInt);
+  EXPECT_EQ(Value(4.3).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("x").type(), ValueType::kString);
+  EXPECT_EQ(Value(5).AsInt(), 5);
+  EXPECT_DOUBLE_EQ(Value(4.3).AsDouble(), 4.3);
+  EXPECT_EQ(Value("x").AsString(), "x");
+}
+
+TEST(Value, ToStringRoundTrips) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value(4.3).ToString(), "4.3");
+  EXPECT_EQ(Value("Burger Queen").ToString(), "Burger Queen");
+  EXPECT_EQ(Value().ToString(), "");
+  EXPECT_EQ(Value::Parse("42", ValueType::kInt), Value(42));
+  EXPECT_EQ(Value::Parse("4.3", ValueType::kDouble), Value(4.3));
+  EXPECT_EQ(Value::Parse("", ValueType::kString), Value::Null());
+  EXPECT_EQ(Value::Parse("junk", ValueType::kInt), Value::Null());
+}
+
+TEST(Value, OrderingWithinType) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_LT(Value(1.5), Value(2.5));
+}
+
+TEST(Value, MixedNumericComparesAndHashesConsistently) {
+  EXPECT_EQ(Value(5), Value(5.0));
+  EXPECT_LT(Value(5), Value(5.5));
+  EXPECT_EQ(Value(5).Hash(), Value(5.0).Hash());
+}
+
+TEST(Value, NullOrdersFirstAndEqualsOnlyNull) {
+  EXPECT_LT(Value::Null(), Value(0));
+  EXPECT_LT(Value::Null(), Value(""));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value(0));
+}
+
+// ---------- Schema ----------
+
+TEST(Schema, QualifiedLookup) {
+  Schema s({{"r", "id", ValueType::kInt}, {"c", "id", ValueType::kInt},
+            {"r", "name", ValueType::kString}});
+  EXPECT_EQ(s.IndexOf("r.id"), 0);
+  EXPECT_EQ(s.IndexOf("c.id"), 1);
+  EXPECT_EQ(s.IndexOf("name"), 2);
+  EXPECT_THROW(s.IndexOf("id"), std::runtime_error);      // ambiguous
+  EXPECT_THROW(s.IndexOf("absent"), std::runtime_error);  // unknown
+  EXPECT_FALSE(s.Find("absent").has_value());
+}
+
+TEST(Schema, LookupIsCaseInsensitive) {
+  Schema s({{"Restaurant", "Name", ValueType::kString}});
+  EXPECT_EQ(s.IndexOf("restaurant.name"), 0);
+  EXPECT_EQ(s.IndexOf("NAME"), 0);
+}
+
+TEST(Schema, Concat) {
+  Schema a({{"r", "x", ValueType::kInt}});
+  Schema b({{"s", "y", ValueType::kInt}});
+  Schema c = Schema::Concat(a, b);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.IndexOf("r.x"), 0);
+  EXPECT_EQ(c.IndexOf("s.y"), 1);
+}
+
+// ---------- Table ----------
+
+TEST(Table, AddRowArityChecked) {
+  Table t("t", Schema({{"t", "a", ValueType::kInt}}));
+  t.AddRow({1});
+  EXPECT_THROW(t.AddRow({1, 2}), std::runtime_error);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, ExportParseRoundTrip) {
+  Table t("t", Schema({{"t", "a", ValueType::kInt},
+                       {"t", "b", ValueType::kString},
+                       {"t", "c", ValueType::kDouble}}));
+  t.AddRow({7, "tab\tand newline\n", 1.25});
+  t.AddRow({Value::Null(), Value::Null(), Value::Null()});
+  auto lines = t.ExportRows();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(t.ParseRow(lines[0]), t.rows()[0]);
+  EXPECT_EQ(t.ParseRow(lines[1]), t.rows()[1]);
+}
+
+// ---------- Database / foreign keys ----------
+
+TEST(Database, DuplicateTableRejected) {
+  Database db;
+  db.AddTable(Table("t", Schema({{"t", "a", ValueType::kInt}})));
+  EXPECT_THROW(db.AddTable(Table("t", Schema({{"t", "a", ValueType::kInt}}))),
+               std::runtime_error);
+}
+
+TEST(Database, ForeignKeyValidation) {
+  Database db = testing::MakeFoodDb();
+  EXPECT_THROW(db.AddForeignKey({"comment", "nope", "restaurant", "rid"}),
+               std::runtime_error);
+  EXPECT_THROW(db.AddForeignKey({"ghost", "x", "restaurant", "rid"}),
+               std::runtime_error);
+}
+
+TEST(Database, JoinColumnsEitherDirection) {
+  Database db = testing::MakeFoodDb();
+  auto [l, r] = db.JoinColumns("restaurant", "comment");
+  EXPECT_EQ(l, "rid");
+  EXPECT_EQ(r, "rid");
+  EXPECT_THROW(db.JoinColumns("restaurant", "customer"), std::runtime_error);
+}
+
+// ---------- Joins ----------
+
+class JoinTest : public ::testing::Test {
+ protected:
+  Database db_ = testing::MakeFoodDb();
+};
+
+TEST_F(JoinTest, InnerJoinMatchesForeignKeys) {
+  Table j = HashJoin(db_.table("comment"), db_.table("customer"),
+                     "comment.uid", "customer.uid", JoinType::kInner);
+  // Every comment has a matching customer.
+  EXPECT_EQ(j.row_count(), 6u);
+  EXPECT_EQ(j.schema().size(), 5u + 2u);
+}
+
+TEST_F(JoinTest, LeftOuterJoinPadsWithNull) {
+  Table j = HashJoin(db_.table("restaurant"), db_.table("comment"),
+                     "restaurant.rid", "comment.rid", JoinType::kLeftOuter);
+  // 7 restaurants; rid 4 has 2 comments -> 8 rows total.
+  EXPECT_EQ(j.row_count(), 8u);
+  int comment_col = j.schema().IndexOf("comment.comment");
+  std::size_t padded = 0;
+  for (const Row& row : j.rows()) {
+    if (row[static_cast<std::size_t>(comment_col)].is_null()) ++padded;
+  }
+  // Restaurants 3 (Wandy's 4.1) and 5 (Thaifood) have no comments.
+  EXPECT_EQ(padded, 2u);
+}
+
+TEST_F(JoinTest, InnerJoinDropsUnmatched) {
+  Table j = HashJoin(db_.table("restaurant"), db_.table("comment"),
+                     "restaurant.rid", "comment.rid", JoinType::kInner);
+  EXPECT_EQ(j.row_count(), 6u);
+}
+
+TEST_F(JoinTest, NullKeysNeverMatch) {
+  Table l("l", Schema({{"l", "k", ValueType::kInt}}));
+  l.AddRow({Value::Null()});
+  l.AddRow({1});
+  Table r("r", Schema({{"r", "k", ValueType::kInt}}));
+  r.AddRow({Value::Null()});
+  r.AddRow({1});
+  Table inner = HashJoin(l, r, "l.k", "r.k", JoinType::kInner);
+  EXPECT_EQ(inner.row_count(), 1u);
+  Table outer = HashJoin(l, r, "l.k", "r.k", JoinType::kLeftOuter);
+  EXPECT_EQ(outer.row_count(), 2u);  // null left row padded
+}
+
+TEST_F(JoinTest, FindJoinColumnsAcrossJoinedSchema) {
+  Table j = HashJoin(db_.table("restaurant"), db_.table("comment"),
+                     "restaurant.rid", "comment.rid", JoinType::kLeftOuter);
+  auto [l, r] = FindJoinColumns(db_, j.schema(), "customer");
+  EXPECT_EQ(l, "comment.uid");
+  EXPECT_EQ(r, "uid");
+}
+
+TEST_F(JoinTest, FindJoinColumnsSchemaToSchema) {
+  auto [l, r] = FindJoinColumns(db_, db_.table("comment").schema(),
+                                db_.table("customer").schema());
+  EXPECT_EQ(l, "comment.uid");
+  EXPECT_EQ(r, "customer.uid");
+  EXPECT_THROW(FindJoinColumns(db_, db_.table("restaurant").schema(),
+                               db_.table("customer").schema()),
+               std::runtime_error);
+}
+
+// ---------- Filter / Project / GroupCount / SortBy ----------
+
+TEST_F(JoinTest, FilterAndCompare) {
+  const Table& r = db_.table("restaurant");
+  int budget = r.schema().IndexOf("budget");
+  Table cheap = Filter(r, [budget](const Row& row) {
+    return EvalCompare(row[static_cast<std::size_t>(budget)], CompareOp::kLe,
+                       Value(10));
+  });
+  EXPECT_EQ(cheap.row_count(), 4u);  // budgets 10, 10, 10, 9
+}
+
+TEST(Compare, NullFailsEveryComparison) {
+  EXPECT_FALSE(EvalCompare(Value::Null(), CompareOp::kEq, Value::Null()));
+  EXPECT_FALSE(EvalCompare(Value(1), CompareOp::kGe, Value::Null()));
+  EXPECT_FALSE(EvalCompare(Value::Null(), CompareOp::kLe, Value(1)));
+}
+
+TEST(Compare, Operators) {
+  EXPECT_TRUE(EvalCompare(Value(10), CompareOp::kEq, Value(10)));
+  EXPECT_TRUE(EvalCompare(Value(10), CompareOp::kGe, Value(10)));
+  EXPECT_TRUE(EvalCompare(Value(10), CompareOp::kLe, Value(12)));
+  EXPECT_FALSE(EvalCompare(Value(9), CompareOp::kGe, Value(10)));
+  EXPECT_TRUE(EvalCompare(Value("American"), CompareOp::kEq, Value("American")));
+}
+
+TEST_F(JoinTest, ProjectReordersColumns) {
+  Table p = Project(db_.table("restaurant"), {"name", "restaurant.budget"});
+  ASSERT_EQ(p.schema().size(), 2u);
+  EXPECT_EQ(p.rows()[0][0], Value("Burger Queen"));
+  EXPECT_EQ(p.rows()[0][1], Value(10));
+}
+
+TEST_F(JoinTest, GroupCountCountsDuplicates) {
+  Table counts = GroupCount(db_.table("restaurant"), {"cuisine"});
+  ASSERT_EQ(counts.row_count(), 2u);  // American, Thai (first-seen order)
+  EXPECT_EQ(counts.rows()[0][0], Value("American"));
+  EXPECT_EQ(counts.rows()[0][1], Value(5));
+  EXPECT_EQ(counts.rows()[1][1], Value(2));
+}
+
+TEST_F(JoinTest, GroupCountMultipleKeys) {
+  Table counts =
+      GroupCount(db_.table("restaurant"), {"cuisine", "budget"}, "n");
+  // (American,10),(American,18),(American,12)x2,(Thai,10)x2,(American,9).
+  EXPECT_EQ(counts.row_count(), 5u);
+  int n = counts.schema().IndexOf("n");
+  std::int64_t total = 0;
+  for (const Row& row : counts.rows()) {
+    total += row[static_cast<std::size_t>(n)].AsInt();
+  }
+  EXPECT_EQ(total, 7);
+}
+
+TEST_F(JoinTest, SortByIsStableAscending) {
+  Table sorted = SortBy(db_.table("restaurant"), {"budget", "rate"});
+  const auto& rows = sorted.rows();
+  int budget = sorted.schema().IndexOf("budget");
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1][static_cast<std::size_t>(budget)],
+              rows[i][static_cast<std::size_t>(budget)]);
+  }
+}
+
+}  // namespace
+}  // namespace dash::db

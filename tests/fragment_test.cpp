@@ -1,0 +1,190 @@
+// Fragment derivation tests: reproduces the paper's Figure 5 literally on
+// fooddb, and checks the disjointness/coverage invariants fragments must
+// satisfy (every db-page is a disjoint union of fragments).
+#include <gtest/gtest.h>
+
+#include "core/crawler.h"
+#include "testing/fooddb.h"
+
+namespace dash::core {
+namespace {
+
+class FragmentTest : public ::testing::Test {
+ protected:
+  FragmentTest()
+      : db_(dash::testing::MakeFoodDb()),
+        app_(dash::testing::MakeSearchApp()),
+        crawler_(db_, app_.query) {}
+
+  db::Database db_;
+  webapp::WebAppInfo app_;
+  Crawler crawler_;
+};
+
+TEST_F(FragmentTest, SelectionAttributesCanonicalOrder) {
+  ASSERT_EQ(crawler_.selection().size(), 2u);
+  EXPECT_EQ(crawler_.selection()[0].column, "cuisine");
+  EXPECT_EQ(crawler_.selection()[1].column, "budget");
+  EXPECT_EQ(crawler_.num_eq_attributes(), 1u);
+  EXPECT_EQ(crawler_.num_range_attributes(), 1u);
+  EXPECT_EQ(crawler_.selection_columns(),
+            (std::vector<std::string>{"restaurant.cuisine",
+                                      "restaurant.budget"}));
+}
+
+TEST_F(FragmentTest, ProjectionColumnsResolved) {
+  EXPECT_EQ(crawler_.projection_columns(),
+            (std::vector<std::string>{"restaurant.name", "restaurant.budget",
+                                      "restaurant.rate", "comment.comment",
+                                      "customer.uname", "comment.date"}));
+}
+
+TEST_F(FragmentTest, DerivesFigure5Fragments) {
+  std::vector<Fragment> fragments = crawler_.DeriveFragments();
+  ASSERT_EQ(fragments.size(), 5u);
+  // Ascending identifier order: American groups first, then Thai.
+  EXPECT_EQ(FragmentIdToString(fragments[0].id), "(American, 9)");
+  EXPECT_EQ(FragmentIdToString(fragments[1].id), "(American, 10)");
+  EXPECT_EQ(FragmentIdToString(fragments[2].id), "(American, 12)");
+  EXPECT_EQ(FragmentIdToString(fragments[3].id), "(American, 18)");
+  EXPECT_EQ(FragmentIdToString(fragments[4].id), "(Thai, 10)");
+
+  // Row counts per Figure 5.
+  EXPECT_EQ(fragments[0].rows.size(), 1u);  // Bond's Cafe
+  EXPECT_EQ(fragments[1].rows.size(), 1u);  // Burger Queen
+  EXPECT_EQ(fragments[2].rows.size(), 3u);  // Wandy's x3
+  EXPECT_EQ(fragments[3].rows.size(), 1u);  // McRonald's
+  EXPECT_EQ(fragments[4].rows.size(), 2u);  // Thaifood + Bangkok
+}
+
+TEST_F(FragmentTest, Figure5ContentDetail) {
+  std::vector<Fragment> fragments = crawler_.DeriveFragments();
+  // (American, 12): Wandy's 4.1 without comment survives the outer join.
+  const Fragment& wandys = fragments[2];
+  int with_comment = 0, without_comment = 0;
+  for (const db::Row& row : wandys.rows) {
+    EXPECT_EQ(row[0], db::Value("Wandy's"));
+    (row[3].is_null() ? without_comment : with_comment)++;
+  }
+  EXPECT_EQ(without_comment, 1);
+  EXPECT_EQ(with_comment, 2);
+}
+
+TEST_F(FragmentTest, KeywordTotalsMatchFigure9NodeWeights) {
+  FragmentIndexBuild build = crawler_.BuildIndex();
+  ASSERT_EQ(build.catalog.size(), 5u);
+  auto weight = [&](const db::Row& id) {
+    return build.catalog.keyword_total(*build.catalog.Find(id));
+  };
+  EXPECT_EQ(weight({db::Value("American"), db::Value(9)}), 8u);
+  EXPECT_EQ(weight({db::Value("American"), db::Value(10)}), 8u);
+  EXPECT_EQ(weight({db::Value("American"), db::Value(12)}), 17u);
+  EXPECT_EQ(weight({db::Value("American"), db::Value(18)}), 8u);
+  EXPECT_EQ(weight({db::Value("Thai"), db::Value(10)}), 10u);
+}
+
+// Property: fragments partition the crawling-query result — their row
+// multisets are disjoint by construction (grouping) and their union is the
+// full projected join.
+TEST_F(FragmentTest, FragmentsPartitionTheJoinResult) {
+  std::vector<Fragment> fragments = crawler_.DeriveFragments();
+  std::size_t total_rows = 0;
+  for (const Fragment& f : fragments) total_rows += f.rows.size();
+  db::Table joined = crawler_.EvalJoin();
+  EXPECT_EQ(total_rows, joined.row_count());
+}
+
+// Property: a db-page (concrete parameters) equals the union of the
+// fragments whose identifiers satisfy the parameters — Definition 2's
+// reconstruction guarantee, checked via the independent EvalPage oracle.
+TEST_F(FragmentTest, PageEqualsUnionOfSatisfyingFragments) {
+  std::vector<Fragment> fragments = crawler_.DeriveFragments();
+  struct Case {
+    const char* cuisine;
+    int lo, hi;
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {"American", 10, 15},   // P1 of Example 1
+           {"American", 10, 20},   // P2 of Example 1
+           {"American", 9, 9},
+           {"Thai", 10, 10},
+           {"American", 19, 25},   // empty page
+           {"French", 0, 100}}) {  // unknown cuisine
+    db::Table page = crawler_.EvalPage({{"cuisine", db::Value(c.cuisine)},
+                                        {"min", db::Value(c.lo)},
+                                        {"max", db::Value(c.hi)}});
+    std::size_t expected = 0;
+    for (const Fragment& f : fragments) {
+      if (f.id[0] == db::Value(c.cuisine) && db::Value(c.lo) <= f.id[1] &&
+          f.id[1] <= db::Value(c.hi)) {
+        expected += f.rows.size();
+      }
+    }
+    EXPECT_EQ(page.row_count(), expected)
+        << c.cuisine << " [" << c.lo << "," << c.hi << "]";
+  }
+}
+
+TEST_F(FragmentTest, ExamplePage1MatchesFigure1) {
+  // P1: American, budget 10..15 -> Burger Queen + Wandy's x3 = 4 rows.
+  db::Table p1 = crawler_.EvalPage({{"cuisine", db::Value("American")},
+                                    {"min", db::Value(10)},
+                                    {"max", db::Value(15)}});
+  EXPECT_EQ(p1.row_count(), 4u);
+  // P2: American, 10..20 additionally includes McRonald's.
+  db::Table p2 = crawler_.EvalPage({{"cuisine", db::Value("American")},
+                                    {"min", db::Value(10)},
+                                    {"max", db::Value(20)}});
+  EXPECT_EQ(p2.row_count(), 5u);
+}
+
+TEST_F(FragmentTest, MissingEqualityParameterThrows) {
+  EXPECT_THROW(crawler_.EvalPage({{"min", db::Value(1)}}), std::runtime_error);
+}
+
+TEST_F(FragmentTest, UnboundedRangeSideAllowed) {
+  db::Table page = crawler_.EvalPage(
+      {{"cuisine", db::Value("American")}, {"min", db::Value(12)}});
+  EXPECT_EQ(page.row_count(), 4u);  // Wandy's x3 + McRonald's
+}
+
+// ---------- FragmentCatalog ----------
+
+TEST(FragmentCatalog, InternIsIdempotent) {
+  FragmentCatalog catalog;
+  FragmentHandle a = catalog.Intern({db::Value("x"), db::Value(1)});
+  FragmentHandle b = catalog.Intern({db::Value("x"), db::Value(1)});
+  FragmentHandle c = catalog.Intern({db::Value("y"), db::Value(1)});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(catalog.size(), 2u);
+}
+
+TEST(FragmentCatalog, CanonicalizeSortsByIdentifier) {
+  FragmentCatalog catalog;
+  catalog.Intern({db::Value("b")});
+  catalog.Intern({db::Value("a")});
+  catalog.AddKeywords(0, 7);
+  auto mapping = catalog.Canonicalize();
+  EXPECT_EQ(mapping[0], 1u);  // "b" moved after "a"
+  EXPECT_EQ(mapping[1], 0u);
+  EXPECT_EQ(catalog.id(0)[0], db::Value("a"));
+  EXPECT_EQ(catalog.keyword_total(1), 7u);  // totals moved with ids
+  EXPECT_EQ(*catalog.Find({db::Value("b")}), 1u);
+}
+
+TEST(FragmentCatalog, AverageKeywords) {
+  FragmentCatalog catalog;
+  catalog.AddKeywords(catalog.Intern({db::Value(1)}), 10);
+  catalog.AddKeywords(catalog.Intern({db::Value(2)}), 20);
+  EXPECT_DOUBLE_EQ(catalog.AverageKeywords(), 15.0);
+}
+
+TEST(FragmentIdToString, FormatsLikeThePaper) {
+  EXPECT_EQ(FragmentIdToString({db::Value("American"), db::Value(10)}),
+            "(American, 10)");
+  EXPECT_EQ(FragmentIdToString({db::Value::Null()}), "(NULL)");
+}
+
+}  // namespace
+}  // namespace dash::core

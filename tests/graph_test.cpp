@@ -1,0 +1,261 @@
+// Fragment graph tests: Figure 9 reproduction, the adjacency semantics for
+// 0/1/2 range attributes, and a brute-force oracle property check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/crawler.h"
+#include "core/fragment_graph.h"
+#include "sql/parser.h"
+#include "testing/fooddb.h"
+#include "tpch/tpch.h"
+#include "util/random.h"
+
+namespace dash::core {
+namespace {
+
+FragmentCatalog MakeCatalog(std::vector<db::Row> ids) {
+  FragmentCatalog catalog;
+  std::sort(ids.begin(), ids.end());
+  for (const db::Row& id : ids) catalog.Intern(id);
+  return catalog;
+}
+
+std::vector<std::string> NeighborIds(const FragmentGraph& g,
+                                     const FragmentCatalog& c,
+                                     const db::Row& id) {
+  std::vector<std::string> out;
+  for (FragmentHandle n : g.Neighbors(*c.Find(id))) {
+    out.push_back(FragmentIdToString(c.id(n)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(FragmentGraph, ReproducesFigure9) {
+  db::Database db = dash::testing::MakeFoodDb();
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+  Crawler crawler(db, app.query);
+  FragmentIndexBuild build = crawler.BuildIndex();
+  FragmentGraph graph = FragmentGraph::Build(build.catalog, 1, 1);
+
+  EXPECT_EQ(graph.node_count(), 5u);
+  EXPECT_EQ(graph.edge_count(), 3u);  // the American chain
+  EXPECT_EQ(graph.num_groups(), 2u);  // American, Thai
+
+  using db::Value;
+  EXPECT_EQ(NeighborIds(graph, build.catalog, {Value("American"), Value(9)}),
+            (std::vector<std::string>{"(American, 10)"}));
+  EXPECT_EQ(NeighborIds(graph, build.catalog, {Value("American"), Value(10)}),
+            (std::vector<std::string>{"(American, 12)", "(American, 9)"}));
+  EXPECT_EQ(NeighborIds(graph, build.catalog, {Value("American"), Value(12)}),
+            (std::vector<std::string>{"(American, 10)", "(American, 18)"}));
+  // The Thai node is disconnected (Example 6).
+  EXPECT_TRUE(NeighborIds(graph, build.catalog, {Value("Thai"), Value(10)})
+                  .empty());
+}
+
+TEST(FragmentGraph, NoRangeAttributesMeansNoEdges) {
+  FragmentCatalog catalog = MakeCatalog(
+      {{db::Value("a")}, {db::Value("b")}, {db::Value("c")}});
+  FragmentGraph graph = FragmentGraph::Build(catalog, 1, 0);
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_EQ(graph.num_groups(), 3u);
+}
+
+TEST(FragmentGraph, PureRangeIsOneChain) {
+  FragmentCatalog catalog = MakeCatalog(
+      {{db::Value(5)}, {db::Value(1)}, {db::Value(9)}, {db::Value(3)}});
+  FragmentGraph graph = FragmentGraph::Build(catalog, 0, 1);
+  EXPECT_EQ(graph.num_groups(), 1u);
+  EXPECT_EQ(graph.edge_count(), 3u);
+  // 1 - 3 - 5 - 9 chain: endpoint degree 1, inner degree 2.
+  EXPECT_EQ(graph.Neighbors(*catalog.Find({db::Value(1)})).size(), 1u);
+  EXPECT_EQ(graph.Neighbors(*catalog.Find({db::Value(3)})).size(), 2u);
+  EXPECT_EQ(graph.Neighbors(*catalog.Find({db::Value(9)})).size(), 1u);
+}
+
+TEST(FragmentGraph, GroupSpansAreContiguousAndSorted) {
+  FragmentCatalog catalog = MakeCatalog({{db::Value("a"), db::Value(1)},
+                                         {db::Value("a"), db::Value(5)},
+                                         {db::Value("b"), db::Value(2)}});
+  FragmentGraph graph = FragmentGraph::Build(catalog, 1, 1);
+  ASSERT_EQ(graph.num_groups(), 2u);
+  auto [a0, a1] = graph.GroupSpan(0);
+  EXPECT_EQ(a0, 0u);
+  EXPECT_EQ(a1, 1u);
+  EXPECT_EQ(graph.GroupOf(0), 0u);
+  EXPECT_EQ(graph.GroupOf(2), 1u);
+}
+
+TEST(FragmentGraph, RequiresCanonicalCatalog) {
+  FragmentCatalog catalog;
+  catalog.Intern({db::Value(2)});
+  catalog.Intern({db::Value(1)});  // out of order
+  EXPECT_THROW(FragmentGraph::Build(catalog, 0, 1), std::logic_error);
+}
+
+TEST(FragmentGraph, SingleFragment) {
+  FragmentCatalog catalog = MakeCatalog({{db::Value("x"), db::Value(1)}});
+  FragmentGraph graph = FragmentGraph::Build(catalog, 1, 1);
+  EXPECT_EQ(graph.node_count(), 1u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+TEST(FragmentGraph, EmptyCatalog) {
+  FragmentCatalog catalog;
+  FragmentGraph graph = FragmentGraph::Build(catalog, 1, 1);
+  EXPECT_EQ(graph.node_count(), 0u);
+  EXPECT_EQ(graph.num_groups(), 0u);
+}
+
+// Two range attributes: edge iff the bounding box of the pair contains no
+// third fragment. 2x2 grid: sides connected, diagonals not.
+TEST(FragmentGraph, TwoRangeAttributesGrid) {
+  FragmentCatalog catalog = MakeCatalog({{db::Value(0), db::Value(0)},
+                                         {db::Value(0), db::Value(1)},
+                                         {db::Value(1), db::Value(0)},
+                                         {db::Value(1), db::Value(1)}});
+  FragmentGraph graph = FragmentGraph::Build(catalog, 0, 2);
+  // Sides: (0,0)-(0,1), (0,0)-(1,0), (0,1)-(1,1), (1,0)-(1,1) = 4 edges.
+  // Diagonals' boxes contain the other two corners.
+  EXPECT_EQ(graph.edge_count(), 4u);
+  auto n00 = graph.Neighbors(*catalog.Find({db::Value(0), db::Value(0)}));
+  EXPECT_EQ(n00.size(), 2u);
+}
+
+TEST(FragmentGraph, TwoRangeCollinearChain) {
+  // Collinear points on one axis behave like the 1-d chain.
+  FragmentCatalog catalog = MakeCatalog({{db::Value(0), db::Value(0)},
+                                         {db::Value(0), db::Value(3)},
+                                         {db::Value(0), db::Value(7)}});
+  FragmentGraph graph = FragmentGraph::Build(catalog, 0, 2);
+  EXPECT_EQ(graph.edge_count(), 2u);
+  EXPECT_TRUE(graph.Neighbors(*catalog.Find({db::Value(0), db::Value(7)}))
+                  .size() == 1u);
+}
+
+// Property check against a brute-force oracle: for random 2-d point sets,
+// the incremental construction must produce exactly the empty-box edges.
+class GraphOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphOracleTest, MatchesBruteForceEmptyBoxSemantics) {
+  util::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<db::Row> ids;
+  std::set<std::pair<std::int64_t, std::int64_t>> used;
+  while (ids.size() < 12) {
+    std::int64_t x = rng.Range(0, 6), y = rng.Range(0, 6);
+    if (used.insert({x, y}).second) {
+      ids.push_back({db::Value(x), db::Value(y)});
+    }
+  }
+  FragmentCatalog catalog = MakeCatalog(ids);
+  FragmentGraph graph = FragmentGraph::Build(catalog, 0, 2);
+
+  auto in_box = [&](const db::Row& a, const db::Row& b, const db::Row& m) {
+    for (int d : {0, 1}) {
+      const db::Value& lo = a[d] <= b[d] ? a[d] : b[d];
+      const db::Value& hi = a[d] <= b[d] ? b[d] : a[d];
+      if (m[d] < lo || hi < m[d]) return false;
+    }
+    return true;
+  };
+  std::size_t expected_edges = 0;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    for (std::size_t j = i + 1; j < catalog.size(); ++j) {
+      const db::Row& a = catalog.id(static_cast<FragmentHandle>(i));
+      const db::Row& b = catalog.id(static_cast<FragmentHandle>(j));
+      bool empty_box = true;
+      for (std::size_t m = 0; m < catalog.size(); ++m) {
+        if (m == i || m == j) continue;
+        if (in_box(a, b, catalog.id(static_cast<FragmentHandle>(m)))) {
+          empty_box = false;
+          break;
+        }
+      }
+      auto neighbors =
+          graph.Neighbors(static_cast<FragmentHandle>(i));
+      bool has_edge =
+          std::find(neighbors.begin(), neighbors.end(),
+                    static_cast<FragmentHandle>(j)) != neighbors.end();
+      EXPECT_EQ(has_edge, empty_box)
+          << FragmentIdToString(a) << " -- " << FragmentIdToString(b);
+      expected_edges += empty_box ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(graph.edge_count(), expected_edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPointSets, GraphOracleTest,
+                         ::testing::Range(1, 9));
+
+// Same oracle in three range dimensions, with an equality attribute mixed
+// in (two groups, each checked independently).
+class GraphOracle3dTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphOracle3dTest, MatchesBruteForceInThreeDimensions) {
+  util::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  std::vector<db::Row> ids;
+  std::set<std::vector<std::int64_t>> used;
+  while (ids.size() < 14) {
+    std::int64_t g = rng.Range(0, 1);
+    std::int64_t x = rng.Range(0, 4), y = rng.Range(0, 4), z = rng.Range(0, 4);
+    if (used.insert({g, x, y, z}).second) {
+      ids.push_back({db::Value(g == 0 ? "alpha" : "beta"), db::Value(x),
+                     db::Value(y), db::Value(z)});
+    }
+  }
+  FragmentCatalog catalog = MakeCatalog(ids);
+  FragmentGraph graph = FragmentGraph::Build(catalog, 1, 3);
+
+  auto in_box = [](const db::Row& a, const db::Row& b, const db::Row& m) {
+    for (std::size_t d = 1; d < 4; ++d) {
+      const db::Value& lo = a[d] <= b[d] ? a[d] : b[d];
+      const db::Value& hi = a[d] <= b[d] ? b[d] : a[d];
+      if (m[d] < lo || hi < m[d]) return false;
+    }
+    return true;
+  };
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    for (std::size_t j = i + 1; j < catalog.size(); ++j) {
+      const db::Row& a = catalog.id(static_cast<FragmentHandle>(i));
+      const db::Row& b = catalog.id(static_cast<FragmentHandle>(j));
+      bool expected = a[0] == b[0];  // same equality group...
+      if (expected) {
+        for (std::size_t m = 0; m < catalog.size() && expected; ++m) {
+          if (m == i || m == j) continue;
+          const db::Row& rm = catalog.id(static_cast<FragmentHandle>(m));
+          if (rm[0] == a[0] && in_box(a, b, rm)) expected = false;
+        }
+      }
+      auto neighbors = graph.Neighbors(static_cast<FragmentHandle>(i));
+      bool has_edge =
+          std::find(neighbors.begin(), neighbors.end(),
+                    static_cast<FragmentHandle>(j)) != neighbors.end();
+      EXPECT_EQ(has_edge, expected)
+          << FragmentIdToString(a) << " -- " << FragmentIdToString(b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPointSets3d, GraphOracle3dTest,
+                         ::testing::Range(1, 6));
+
+TEST(FragmentGraph, StatsPopulated) {
+  db::Database db = tpch::Generate(tpch::Scale::kTiny);
+  sql::PsjQuery query = sql::Parse(
+      "SELECT * FROM (customer JOIN orders) JOIN lineitem "
+      "WHERE customer.cid = $r AND qty BETWEEN $min AND $max");
+  FragmentIndexBuild build = Crawler(db, query).BuildIndex();
+  FragmentGraph graph = FragmentGraph::Build(build.catalog, 1, 1);
+  EXPECT_EQ(graph.stats().nodes, build.catalog.size());
+  EXPECT_EQ(graph.stats().edges, graph.edge_count());
+  EXPECT_GE(graph.stats().build_seconds, 0.0);
+  // Every customer with >= 2 distinct quantities forms a chain.
+  EXPECT_GT(graph.edge_count(), 0u);
+  EXPECT_EQ(graph.num_groups(), db.table("customer").row_count());
+}
+
+}  // namespace
+}  // namespace dash::core

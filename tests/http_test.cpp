@@ -1,0 +1,55 @@
+// HTTP request model tests: GET/POST equivalence for db-page generation
+// (paper footnote 1).
+#include <gtest/gtest.h>
+
+#include "testing/fooddb.h"
+#include "webapp/http.h"
+
+namespace dash::webapp {
+namespace {
+
+TEST(Http, ParseUrlSplitsQueryString) {
+  HttpRequest r = ParseUrl("www.example.com/Search?c=American&l=10&u=15");
+  EXPECT_EQ(r.method, HttpMethod::kGet);
+  EXPECT_EQ(r.path, "www.example.com/Search");
+  EXPECT_EQ(r.query_string, "c=American&l=10&u=15");
+  EXPECT_EQ(r.EffectiveQueryString(), "c=American&l=10&u=15");
+}
+
+TEST(Http, ParseUrlWithoutQuery) {
+  HttpRequest r = ParseUrl("www.example.com/Search");
+  EXPECT_EQ(r.path, "www.example.com/Search");
+  EXPECT_TRUE(r.query_string.empty());
+}
+
+TEST(Http, PostCarriesQueryInBody) {
+  HttpRequest get = ParseUrl("www.example.com/Search?c=Thai&l=10&u=10");
+  HttpRequest post = AsPost(get);
+  EXPECT_EQ(post.method, HttpMethod::kPost);
+  EXPECT_EQ(post.path, get.path);
+  EXPECT_TRUE(post.query_string.empty());
+  EXPECT_EQ(post.body, "c=Thai&l=10&u=10");
+  EXPECT_EQ(post.EffectiveQueryString(), get.EffectiveQueryString());
+}
+
+TEST(Http, ResolveParamsGetAndPostAgree) {
+  WebAppInfo app = dash::testing::MakeSearchApp();
+  HttpRequest get = ParseUrl("www.example.com/Search?c=American&l=10&u=15");
+  auto get_params = ResolveParams(app, get);
+  auto post_params = ResolveParams(app, AsPost(get));
+  EXPECT_EQ(get_params, post_params);
+  EXPECT_EQ(get_params.at("cuisine"), "American");
+  EXPECT_EQ(get_params.at("min"), "10");
+  EXPECT_EQ(get_params.at("max"), "15");
+}
+
+TEST(Http, RoundTripThroughUrlFor) {
+  WebAppInfo app = dash::testing::MakeSearchApp();
+  std::map<std::string, std::string> params = {
+      {"cuisine", "Thai"}, {"min", "10"}, {"max", "10"}};
+  HttpRequest r = ParseUrl(app.UrlFor(params));
+  EXPECT_EQ(ResolveParams(app, r), params);
+}
+
+}  // namespace
+}  // namespace dash::webapp

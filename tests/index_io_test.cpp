@@ -1,0 +1,143 @@
+// Index persistence tests: save/load round-trips the whole engine (app
+// info, catalog, postings) and the loaded engine answers searches
+// identically; malformed files are rejected with diagnostics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/index_io.h"
+#include "sql/parser.h"
+#include "testing/fooddb.h"
+#include "tpch/tpch.h"
+
+namespace dash::core {
+namespace {
+
+DashEngine BuildFoodDbEngine() {
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kReference;
+  return DashEngine::Build(dash::testing::MakeFoodDb(),
+                           dash::testing::MakeSearchApp(), options);
+}
+
+TEST(TypedValue, RoundTrip) {
+  for (const db::Value& v :
+       {db::Value(42), db::Value(-7), db::Value(4.3), db::Value(""),
+        db::Value("Ameri can\ttab"), db::Value::Null()}) {
+    EXPECT_EQ(DecodeTypedValue(EncodeTypedValue(v)), v);
+  }
+}
+
+TEST(TypedValue, MalformedRejected) {
+  EXPECT_THROW(DecodeTypedValue(""), IndexIoError);
+  EXPECT_THROW(DecodeTypedValue("x:1"), IndexIoError);
+  EXPECT_THROW(DecodeTypedValue("i:abc"), IndexIoError);
+  EXPECT_THROW(DecodeTypedValue("d:"), IndexIoError);
+  EXPECT_THROW(DecodeTypedValue("i"), IndexIoError);
+}
+
+TEST(IndexIo, SaveLoadRoundTripsFoodDb) {
+  DashEngine original = BuildFoodDbEngine();
+  std::stringstream buffer;
+  SaveEngine(original, buffer);
+  DashEngine loaded = LoadEngine(buffer);
+
+  EXPECT_EQ(loaded.app().name, "Search");
+  EXPECT_EQ(loaded.app().uri, "www.example.com/Search");
+  EXPECT_EQ(loaded.catalog().size(), original.catalog().size());
+  EXPECT_EQ(loaded.index().keyword_count(), original.index().keyword_count());
+  EXPECT_EQ(loaded.index().ToDebugString(loaded.catalog()),
+            original.index().ToDebugString(original.catalog()));
+  EXPECT_EQ(loaded.graph().edge_count(), original.graph().edge_count());
+
+  // Keyword totals and content hashes are reconstructed by Finalize.
+  for (std::size_t f = 0; f < original.catalog().size(); ++f) {
+    auto handle = static_cast<FragmentHandle>(f);
+    EXPECT_EQ(loaded.catalog().keyword_total(handle),
+              original.catalog().keyword_total(handle));
+    EXPECT_EQ(loaded.catalog().content_hash(handle),
+              original.catalog().content_hash(handle));
+  }
+}
+
+TEST(IndexIo, LoadedEngineSearchesIdentically) {
+  DashEngine original = BuildFoodDbEngine();
+  std::stringstream buffer;
+  SaveEngine(original, buffer);
+  DashEngine loaded = LoadEngine(buffer);
+
+  auto a = original.Search({"burger"}, 2, 20);
+  auto b = loaded.Search({"burger"}, 2, 20);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].url, b[i].url);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    EXPECT_EQ(a[i].size_words, b[i].size_words);
+  }
+}
+
+TEST(IndexIo, RoundTripsTpchWorkload) {
+  webapp::WebAppInfo app;
+  app.name = "Q2";
+  app.uri = "example.com/q2";
+  app.query = sql::Parse(
+      "SELECT * FROM (customer JOIN orders) JOIN lineitem "
+      "WHERE customer.cid = $r AND qty BETWEEN $min AND $max");
+  app.codec =
+      webapp::QueryStringCodec({{"r", "r"}, {"l", "min"}, {"u", "max"}});
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kReference;
+  DashEngine original =
+      DashEngine::Build(tpch::Generate(tpch::Scale::kTiny), app, options);
+
+  std::stringstream buffer;
+  SaveEngine(original, buffer);
+  DashEngine loaded = LoadEngine(buffer);
+  EXPECT_EQ(loaded.index().ToDebugString(loaded.catalog()),
+            original.index().ToDebugString(original.catalog()));
+  // Doubles (acctbal-like values survive through prices in keywords).
+  EXPECT_EQ(loaded.catalog().size(), original.catalog().size());
+}
+
+TEST(IndexIo, FileRoundTrip) {
+  DashEngine original = BuildFoodDbEngine();
+  std::string path = ::testing::TempDir() + "/dash_index_test.idx";
+  SaveEngineFile(original, path);
+  DashEngine loaded = LoadEngineFile(path);
+  EXPECT_EQ(loaded.catalog().size(), original.catalog().size());
+  EXPECT_FALSE(loaded.Search({"burger"}, 1, 1).empty());
+}
+
+TEST(IndexIo, MissingFileThrows) {
+  EXPECT_THROW(LoadEngineFile("/nonexistent/dir/index.idx"), IndexIoError);
+}
+
+TEST(IndexIo, MalformedInputsRejected) {
+  auto expect_bad = [](const std::string& content) {
+    std::stringstream in(content);
+    EXPECT_THROW(LoadEngine(in), IndexIoError) << content;
+  };
+  expect_bad("");
+  expect_bad("NOTDASH\t1\n");
+  expect_bad("DASHIDX\t99\n");  // future version
+  expect_bad("DASHIDX\t1\n");   // truncated
+  expect_bad("DASHIDX\t1\napp\tx\tu\tnot sql at all\n");
+  expect_bad(
+      "DASHIDX\t1\n"
+      "app\tA\tu\tSELECT * FROM r WHERE x = $p\n"
+      "bindings\t1\nf\tp\n"
+      "fragments\t1\ni:1\n"
+      "keywords\t1\nw\t7:3\n");  // posting references fragment 7 of 1
+}
+
+TEST(IndexIo, TruncatedPostingsRejected) {
+  DashEngine original = BuildFoodDbEngine();
+  std::stringstream buffer;
+  SaveEngine(original, buffer);
+  std::string text = buffer.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(LoadEngine(truncated), IndexIoError);
+}
+
+}  // namespace
+}  // namespace dash::core

@@ -1,0 +1,151 @@
+// Inverted fragment index tests: Figure 6 reproduction and the index
+// contract (posting order, IDF, keyword totals).
+#include <gtest/gtest.h>
+
+#include "core/crawler.h"
+#include "core/inverted_index.h"
+#include "testing/fooddb.h"
+
+namespace dash::core {
+namespace {
+
+FragmentIndexBuild BuildFoodDbIndex() {
+  db::Database db = dash::testing::MakeFoodDb();
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+  return Crawler(db, app.query).BuildIndex();
+}
+
+TEST(InvertedIndex, Figure6BurgerPostings) {
+  FragmentIndexBuild build = BuildFoodDbIndex();
+  auto postings = build.index.Lookup("burger");
+  ASSERT_EQ(postings.size(), 3u);
+  // Sorted by occurrences descending: (American,10):2 first.
+  EXPECT_EQ(FragmentIdToString(build.catalog.id(postings[0].fragment)),
+            "(American, 10)");
+  EXPECT_EQ(postings[0].occurrences, 2u);
+  EXPECT_EQ(postings[1].occurrences, 1u);
+  EXPECT_EQ(postings[2].occurrences, 1u);
+  // The two TF=1 fragments are (American,12) and (Thai,10).
+  std::vector<std::string> tail = {
+      FragmentIdToString(build.catalog.id(postings[1].fragment)),
+      FragmentIdToString(build.catalog.id(postings[2].fragment))};
+  std::sort(tail.begin(), tail.end());
+  EXPECT_EQ(tail[0], "(American, 12)");
+  EXPECT_EQ(tail[1], "(Thai, 10)");
+}
+
+TEST(InvertedIndex, Figure6CoffeeAndFries) {
+  FragmentIndexBuild build = BuildFoodDbIndex();
+  auto coffee = build.index.Lookup("coffee");
+  ASSERT_EQ(coffee.size(), 1u);
+  EXPECT_EQ(FragmentIdToString(build.catalog.id(coffee[0].fragment)),
+            "(American, 9)");
+  auto fries = build.index.Lookup("fries");
+  ASSERT_EQ(fries.size(), 1u);
+  EXPECT_EQ(FragmentIdToString(build.catalog.id(fries[0].fragment)),
+            "(American, 12)");
+}
+
+TEST(InvertedIndex, IdfIsInverseDocumentFrequency) {
+  FragmentIndexBuild build = BuildFoodDbIndex();
+  EXPECT_DOUBLE_EQ(build.index.Idf("burger"), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(build.index.Idf("coffee"), 1.0);
+  EXPECT_DOUBLE_EQ(build.index.Idf("nonexistent"), 0.0);
+  EXPECT_EQ(build.index.Df("burger"), 3u);
+}
+
+TEST(InvertedIndex, UnknownKeywordLookupIsEmpty) {
+  FragmentIndexBuild build = BuildFoodDbIndex();
+  EXPECT_TRUE(build.index.Lookup("zzz").empty());
+}
+
+TEST(InvertedIndex, KeywordTotalsEqualSumOfPostings) {
+  FragmentIndexBuild build = BuildFoodDbIndex();
+  std::vector<std::uint64_t> totals(build.catalog.size(), 0);
+  for (const auto& [keyword, df] : build.index.KeywordsByDf()) {
+    for (const Posting& p : build.index.Lookup(keyword)) {
+      totals[p.fragment] += p.occurrences;
+    }
+  }
+  for (std::size_t f = 0; f < build.catalog.size(); ++f) {
+    EXPECT_EQ(totals[f],
+              build.catalog.keyword_total(static_cast<FragmentHandle>(f)));
+  }
+}
+
+TEST(InvertedIndex, AccumulationMergesDuplicatePairs) {
+  InvertedFragmentIndex index;
+  FragmentCatalog catalog;
+  FragmentHandle f = catalog.Intern({db::Value(1)});
+  index.AddOccurrences("w", f, 2);
+  index.AddOccurrences("w", f, 3);
+  index.Finalize(&catalog);
+  auto postings = index.Lookup("w");
+  ASSERT_EQ(postings.size(), 1u);
+  EXPECT_EQ(postings[0].occurrences, 5u);
+  EXPECT_EQ(catalog.keyword_total(f), 5u);
+}
+
+TEST(InvertedIndex, ZeroOccurrencesIgnored) {
+  InvertedFragmentIndex index;
+  index.AddOccurrences("w", 0, 0);
+  index.Finalize(nullptr);
+  EXPECT_TRUE(index.Lookup("w").empty());
+  EXPECT_EQ(index.keyword_count(), 0u);
+}
+
+TEST(InvertedIndex, LifecycleEnforced) {
+  InvertedFragmentIndex index;
+  index.AddOccurrences("w", 0, 1);
+  index.Finalize(nullptr);
+  EXPECT_THROW(index.AddOccurrences("x", 0, 1), std::logic_error);
+  EXPECT_THROW(index.Finalize(nullptr), std::logic_error);
+}
+
+TEST(InvertedIndex, PostingOrderIsDeterministic) {
+  InvertedFragmentIndex index;
+  FragmentCatalog catalog;
+  FragmentHandle a = catalog.Intern({db::Value(1)});
+  FragmentHandle b = catalog.Intern({db::Value(2)});
+  FragmentHandle c = catalog.Intern({db::Value(3)});
+  index.AddOccurrences("w", c, 5);
+  index.AddOccurrences("w", a, 5);
+  index.AddOccurrences("w", b, 9);
+  index.Finalize(&catalog);
+  auto postings = index.Lookup("w");
+  ASSERT_EQ(postings.size(), 3u);
+  EXPECT_EQ(postings[0].fragment, b);  // highest TF first
+  EXPECT_EQ(postings[1].fragment, a);  // tie broken by handle
+  EXPECT_EQ(postings[2].fragment, c);
+}
+
+TEST(InvertedIndex, KeywordsByDfSortedDescending) {
+  FragmentIndexBuild build = BuildFoodDbIndex();
+  auto by_df = build.index.KeywordsByDf();
+  ASSERT_FALSE(by_df.empty());
+  for (std::size_t i = 1; i < by_df.size(); ++i) {
+    EXPECT_GE(by_df[i - 1].second, by_df[i].second);
+  }
+  // "american" is never indexed: cuisine is a selection attribute, not a
+  // projection attribute (Figure 6 indexes projected content only).
+  EXPECT_EQ(build.index.Df("american"), 0u);
+}
+
+TEST(InvertedIndex, SizeAccounting) {
+  FragmentIndexBuild build = BuildFoodDbIndex();
+  EXPECT_GT(build.index.keyword_count(), 10u);
+  EXPECT_GE(build.index.posting_count(), build.index.keyword_count());
+  EXPECT_GT(build.index.SizeBytes(), 0u);
+  EXPECT_GT(build.catalog.SizeBytes(), 0u);
+}
+
+TEST(InvertedIndex, DebugStringIsStable) {
+  FragmentIndexBuild a = BuildFoodDbIndex();
+  FragmentIndexBuild b = BuildFoodDbIndex();
+  EXPECT_EQ(a.index.ToDebugString(a.catalog), b.index.ToDebugString(b.catalog));
+  EXPECT_NE(a.index.ToDebugString(a.catalog).find("burger"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dash::core

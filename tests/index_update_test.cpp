@@ -1,0 +1,190 @@
+// Tests for incremental fragment-index maintenance (paper Section VIII,
+// future-work item 1): every update sequence must leave the mirror exactly
+// equal to a full rebuild from the mutated database, while recomputing far
+// fewer fragments, and repairing outer-join padding transitions.
+#include <gtest/gtest.h>
+
+#include "core/index_update.h"
+#include "sql/parser.h"
+#include "testing/fooddb.h"
+#include "tpch/tpch.h"
+#include "util/random.h"
+
+namespace dash::core {
+namespace {
+
+std::string Fingerprint(const FragmentIndexBuild& build) {
+  std::string out;
+  for (std::size_t f = 0; f < build.catalog.size(); ++f) {
+    out += FragmentIdToString(build.catalog.id(static_cast<FragmentHandle>(f)));
+    out += "=";
+    out += std::to_string(
+        build.catalog.keyword_total(static_cast<FragmentHandle>(f)));
+    out += ";";
+  }
+  out += "\n";
+  out += build.index.ToDebugString(build.catalog);
+  return out;
+}
+
+// Full rebuild oracle on the updater's current database state.
+std::string RebuildFingerprint(const UpdatableIndex& updatable,
+                               const sql::PsjQuery& query) {
+  Crawler crawler(updatable.database(), query);
+  return Fingerprint(crawler.BuildIndex());
+}
+
+class FoodDbUpdateTest : public ::testing::Test {
+ protected:
+  FoodDbUpdateTest()
+      : query_(dash::testing::MakeSearchApp().query),
+        updatable_(dash::testing::MakeFoodDb(), query_) {}
+
+  void ExpectConsistent() {
+    EXPECT_EQ(Fingerprint(updatable_.build()),
+              RebuildFingerprint(updatable_, query_));
+  }
+
+  sql::PsjQuery query_;
+  UpdatableIndex updatable_;
+};
+
+TEST_F(FoodDbUpdateTest, InitialBuildMatchesCrawler) {
+  EXPECT_EQ(updatable_.fragment_count(), 5u);
+  ExpectConsistent();
+  EXPECT_EQ(updatable_.fragments_recomputed(), 0u);
+}
+
+TEST_F(FoodDbUpdateTest, InsertCommentUpdatesOneFragment) {
+  // New comment for Burger Queen (rid 1) -> only (American, 10) changes.
+  updatable_.Insert("comment", {207, 1, 120, "Great shakes", "07/10"});
+  EXPECT_EQ(updatable_.fragments_recomputed(), 1u);
+  EXPECT_EQ(updatable_.fragment_count(), 5u);
+  ExpectConsistent();
+  // The new keywords are searchable.
+  EXPECT_EQ(updatable_.build().index.Df("shakes"), 1u);
+}
+
+TEST_F(FoodDbUpdateTest, InsertRestaurantCreatesFragment) {
+  updatable_.Insert("restaurant", {8, "Pizza Palace", "Italian", 14, 4.0});
+  EXPECT_EQ(updatable_.fragment_count(), 6u);
+  ExpectConsistent();
+  auto handle = updatable_.build().catalog.Find(
+      {db::Value("Italian"), db::Value(14)});
+  ASSERT_TRUE(handle.has_value());
+  EXPECT_EQ(updatable_.build().catalog.keyword_total(*handle), 4u);
+}
+
+TEST_F(FoodDbUpdateTest, InsertFirstCommentRemovesOuterJoinPadding) {
+  // Wandy's rid 3 previously had no comments: its joined row was padded.
+  // Adding the first comment must replace the padding, not add to it.
+  updatable_.Insert("comment", {208, 3, 109, "Hidden gem", "02/11"});
+  ExpectConsistent();
+  auto handle = updatable_.build().catalog.Find(
+      {db::Value("American"), db::Value(12)});
+  ASSERT_TRUE(handle.has_value());
+  // Was 17; the padded row (wandy's, 12, 4.1 = 3 words) is replaced by a
+  // commented row (3 + hidden, gem, david, 02/11 = 7 words) -> 21.
+  EXPECT_EQ(updatable_.build().catalog.keyword_total(*handle), 21u);
+}
+
+TEST_F(FoodDbUpdateTest, DeleteLastCommentRestoresPadding) {
+  updatable_.Delete("comment", {201, 1, 109, "Burger experts", "06/10"});
+  ExpectConsistent();
+  auto handle = updatable_.build().catalog.Find(
+      {db::Value("American"), db::Value(10)});
+  ASSERT_TRUE(handle.has_value());
+  // Burger Queen keeps a padded row: burger, queen, 10, 4.3.
+  EXPECT_EQ(updatable_.build().catalog.keyword_total(*handle), 4u);
+  EXPECT_EQ(updatable_.build().index.Df("experts"), 0u);
+}
+
+TEST_F(FoodDbUpdateTest, DeleteRestaurantRemovesFragment) {
+  updatable_.Delete("restaurant", {7, "Bond's Cafe", "American", 9, 4.3});
+  EXPECT_EQ(updatable_.fragment_count(), 4u);
+  ExpectConsistent();
+  EXPECT_FALSE(updatable_.build()
+                   .catalog.Find({db::Value("American"), db::Value(9)})
+                   .has_value());
+  EXPECT_EQ(updatable_.build().index.Df("coffee"), 0u);
+}
+
+TEST_F(FoodDbUpdateTest, DeleteMissingRowThrows) {
+  EXPECT_THROW(updatable_.Delete("comment", {999, 1, 1, "none", "01/01"}),
+               std::runtime_error);
+}
+
+TEST_F(FoodDbUpdateTest, InsertIntoSharedFragmentTouchesOnlyIt) {
+  // A second restaurant lands in the existing (American, 10) fragment.
+  updatable_.Insert("restaurant", {9, "Patty Shack", "American", 10, 3.5});
+  EXPECT_EQ(updatable_.fragments_recomputed(), 1u);
+  EXPECT_EQ(updatable_.fragment_count(), 5u);
+  ExpectConsistent();
+  auto handle = updatable_.build().catalog.Find(
+      {db::Value("American"), db::Value(10)});
+  // 8 (Burger Queen + comment) + 4 (patty, shack, 10, 3.5).
+  EXPECT_EQ(updatable_.build().catalog.keyword_total(*handle), 12u);
+}
+
+TEST_F(FoodDbUpdateTest, GraphIsRepairedAfterUpdates) {
+  // New budget value 14 inside the American chain splits edge 12—18.
+  updatable_.Insert("restaurant", {8, "Diner 14", "American", 14, 3.0});
+  const FragmentGraph& graph = updatable_.graph();
+  EXPECT_EQ(graph.node_count(), 6u);
+  EXPECT_EQ(graph.edge_count(), 4u);  // 9-10-12-14-18 chain
+}
+
+TEST_F(FoodDbUpdateTest, UpdateCostIsLocalized) {
+  // Ten updates touch far fewer fragments than ten full rebuilds would.
+  for (int i = 0; i < 10; ++i) {
+    updatable_.Insert("comment",
+                      {300 + i, 1 + (i % 7), 109, "extra note", "01/12"});
+  }
+  ExpectConsistent();
+  EXPECT_LE(updatable_.fragments_recomputed(),
+            10u);  // one fragment per touched restaurant
+  EXPECT_LT(updatable_.fragments_recomputed(),
+            10u * updatable_.fragment_count());
+}
+
+// Randomized equivalence sweep on TPC-H tiny / Q2: interleaved inserts and
+// deletes, checked against the full-rebuild oracle after every step.
+class RandomUpdateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomUpdateTest, MatchesFullRebuildAfterEveryStep) {
+  sql::PsjQuery query = sql::Parse(
+      "SELECT * FROM (customer JOIN orders) JOIN lineitem "
+      "WHERE customer.cid = $r AND qty BETWEEN $min AND $max");
+  UpdatableIndex updatable(tpch::Generate(tpch::Scale::kTiny), query);
+  util::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()));
+
+  std::int64_t next_lid = 100000;
+  for (int step = 0; step < 8; ++step) {
+    if (rng.NextDouble() < 0.6) {
+      // Insert a lineitem for a random existing order.
+      const db::Table& orders = updatable.database().table("orders");
+      const db::Row& order =
+          orders.rows()[rng.Below(orders.row_count())];
+      updatable.Insert(
+          "lineitem",
+          {db::Value(next_lid++), order[0], db::Value(rng.Range(0, 29)),
+           db::Value(rng.Range(1, 50)), db::Value(99.5), db::Value(0.05),
+           db::Value("1995-01-01"), db::Value("quick brown lineitem")});
+    } else {
+      // Delete a random lineitem.
+      const db::Table& lineitem = updatable.database().table("lineitem");
+      db::Row victim = lineitem.rows()[rng.Below(lineitem.row_count())];
+      updatable.Delete("lineitem", victim);
+    }
+    Crawler oracle(updatable.database(), query);
+    EXPECT_EQ(Fingerprint(updatable.build()), Fingerprint(oracle.BuildIndex()))
+        << "diverged at step " << step;
+  }
+  // Bounded work: each update recomputes at most a couple of fragments.
+  EXPECT_LT(updatable.fragments_recomputed(), 8u * 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomUpdateTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace dash::core

@@ -1,0 +1,317 @@
+// Tests for the simulated MapReduce cluster: semantics (wordcount, join,
+// grouping, combiners), determinism across node counts, and metrics
+// accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mapreduce/cluster.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/tokenizer.h"
+
+namespace dash::mr {
+namespace {
+
+// Classic wordcount — the paper's Section II inverted-file warm-up.
+class WordCountMapper : public Mapper {
+ public:
+  void Map(const Record& record, Emitter& out) override {
+    for (const std::string& w : util::Tokenize(record.value)) {
+      out.Emit(w, "1");
+    }
+  }
+};
+
+class SumReducer : public Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              Emitter& out) override {
+    std::uint64_t total = 0;
+    for (const std::string& v : values) total += std::stoull(v);
+    out.Emit(key, std::to_string(total));
+  }
+};
+
+Dataset WordCountInput() {
+  return {{"", "the quick brown fox"},
+          {"", "the lazy dog"},
+          {"", "the quick dog"}};
+}
+
+std::map<std::string, std::string> ToMap(const Dataset& data) {
+  std::map<std::string, std::string> out;
+  for (const Record& r : data) out[r.key] = r.value;
+  return out;
+}
+
+TEST(Cluster, WordCount) {
+  Cluster cluster;
+  JobConfig job;
+  job.name = "wordcount";
+  Dataset out = cluster.Run(
+      job, WordCountInput(), [] { return std::make_unique<WordCountMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+  auto counts = ToMap(out);
+  EXPECT_EQ(counts.at("the"), "3");
+  EXPECT_EQ(counts.at("quick"), "2");
+  EXPECT_EQ(counts.at("dog"), "2");
+  EXPECT_EQ(counts.at("fox"), "1");
+  EXPECT_EQ(counts.size(), 6u);
+}
+
+TEST(Cluster, EmptyInputProducesEmptyOutput) {
+  Cluster cluster;
+  JobConfig job;
+  Dataset out = cluster.Run(
+      job, {}, [] { return std::make_unique<WordCountMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+  EXPECT_TRUE(out.empty());
+  ASSERT_EQ(cluster.history().size(), 1u);
+  EXPECT_EQ(cluster.history()[0].map_input_records, 0u);
+}
+
+TEST(Cluster, OutputDeterministicAcrossNodeCounts) {
+  // The whole point of the deterministic shuffle: 1 node == 8 nodes.
+  Dataset reference;
+  for (int nodes : {1, 2, 4, 8}) {
+    ClusterConfig config;
+    config.num_nodes = nodes;
+    config.block_size_bytes = 16;  // force many map tasks
+    Cluster cluster(config);
+    JobConfig job;
+    job.num_reduce_tasks = 3;
+    Dataset out = cluster.Run(
+        job, WordCountInput(),
+        [] { return std::make_unique<WordCountMapper>(); },
+        [] { return std::make_unique<SumReducer>(); });
+    if (reference.empty()) {
+      reference = out;
+    } else {
+      EXPECT_EQ(out, reference) << "nodes=" << nodes;
+    }
+  }
+}
+
+TEST(Cluster, CombinerPreservesResultAndShrinksShuffle) {
+  Dataset input;
+  for (int i = 0; i < 200; ++i) input.push_back({"", "a a a b"});
+
+  ClusterConfig config;
+  config.block_size_bytes = 64;
+  Cluster plain(config), combined(config);
+  JobConfig job;
+
+  Dataset out1 = plain.Run(
+      job, input, [] { return std::make_unique<WordCountMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+  Dataset out2 = combined.Run(
+      job, input, [] { return std::make_unique<WordCountMapper>(); },
+      [] { return std::make_unique<SumReducer>(); },
+      [] { return std::make_unique<SumReducer>(); });
+
+  EXPECT_EQ(ToMap(out1), ToMap(out2));
+  EXPECT_LT(combined.history()[0].map_output_records,
+            plain.history()[0].map_output_records);
+}
+
+TEST(Cluster, ValuesArriveInEmissionOrderWithinMapTask) {
+  // Single map task (one block): grouping must preserve emission order.
+  class SeqMapper : public Mapper {
+   public:
+    void Map(const Record& record, Emitter& out) override {
+      out.Emit("k", record.value);
+    }
+  };
+  class ConcatReducer : public Reducer {
+   public:
+    void Reduce(const std::string& key, const std::vector<std::string>& values,
+                Emitter& out) override {
+      std::string all;
+      for (const auto& v : values) all += v;
+      out.Emit(key, all);
+    }
+  };
+  Cluster cluster;
+  JobConfig job;
+  Dataset out = cluster.Run(
+      job, {{"", "1"}, {"", "2"}, {"", "3"}},
+      [] { return std::make_unique<SeqMapper>(); },
+      [] { return std::make_unique<ConcatReducer>(); });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, "123");
+}
+
+TEST(Cluster, MetricsAccounting) {
+  Cluster cluster;
+  JobConfig job;
+  job.name = "metrics";
+  job.num_reduce_tasks = 2;
+  Dataset input = WordCountInput();
+  Dataset out = cluster.Run(
+      job, input, [] { return std::make_unique<WordCountMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+
+  ASSERT_EQ(cluster.history().size(), 1u);
+  const JobMetrics& m = cluster.history()[0];
+  EXPECT_EQ(m.job_name, "metrics");
+  EXPECT_EQ(m.map_input_records, input.size());
+  EXPECT_EQ(m.map_input_bytes, DatasetBytes(input));
+  EXPECT_EQ(m.map_output_records, 10u);  // 10 word occurrences emitted
+  EXPECT_EQ(m.reduce_output_records, out.size());
+  EXPECT_EQ(m.reduce_output_bytes, DatasetBytes(out));
+  EXPECT_EQ(m.reduce_tasks, 2u);
+  EXPECT_GE(m.map_tasks, 1u);
+}
+
+TEST(Cluster, BlockSizeControlsMapTasks) {
+  Dataset input;
+  for (int i = 0; i < 100; ++i) input.push_back({"", "0123456789"});
+  ClusterConfig config;
+  config.block_size_bytes = 100;  // 10 records per split
+  Cluster cluster(config);
+  JobConfig job;
+  cluster.Run(
+      job, input, [] { return std::make_unique<IdentityMapper>(); },
+      [] { return std::make_unique<IdentityReducer>(); });
+  EXPECT_EQ(cluster.history()[0].map_tasks, 10u);
+}
+
+TEST(Cluster, IdentityPipelinePreservesPayload) {
+  Cluster cluster;
+  JobConfig job;
+  Dataset input = {{"b", "2"}, {"a", "1"}, {"b", "3"}};
+  Dataset out = cluster.Run(
+      job, input, [] { return std::make_unique<IdentityMapper>(); },
+      [] { return std::make_unique<IdentityReducer>(); });
+  ASSERT_EQ(out.size(), 3u);
+  // Same multiset of records.
+  auto sorted = [](Dataset d) {
+    std::sort(d.begin(), d.end(), [](const Record& x, const Record& y) {
+      return std::tie(x.key, x.value) < std::tie(y.key, y.value);
+    });
+    return d;
+  };
+  EXPECT_EQ(sorted(out), sorted(input));
+}
+
+TEST(Cluster, InvalidConfigRejected) {
+  ClusterConfig config;
+  config.num_nodes = 0;
+  EXPECT_THROW(Cluster{config}, std::invalid_argument);
+  ClusterConfig config2;
+  config2.block_size_bytes = 0;
+  EXPECT_THROW(Cluster{config2}, std::invalid_argument);
+}
+
+TEST(Cluster, MissingFactoriesRejected) {
+  Cluster cluster;
+  JobConfig job;
+  EXPECT_THROW(
+      cluster.Run(job, {}, nullptr,
+                  [] { return std::make_unique<IdentityReducer>(); }),
+      std::invalid_argument);
+}
+
+TEST(Cluster, MapperExceptionPropagates) {
+  class ThrowingMapper : public Mapper {
+   public:
+    void Map(const Record&, Emitter&) override {
+      throw std::runtime_error("boom");
+    }
+  };
+  Cluster cluster;
+  JobConfig job;
+  EXPECT_THROW(cluster.Run(
+                   job, {{"", "x"}},
+                   [] { return std::make_unique<ThrowingMapper>(); },
+                   [] { return std::make_unique<IdentityReducer>(); }),
+               std::runtime_error);
+}
+
+TEST(Cluster, FaultToleranceReexecutesTasksIdentically) {
+  Dataset input;
+  for (int i = 0; i < 100; ++i) input.push_back({"", "alpha beta gamma"});
+
+  ClusterConfig reliable;
+  reliable.block_size_bytes = 64;
+  Cluster stable(reliable);
+
+  ClusterConfig flaky = reliable;
+  flaky.task_failure_probability = 0.4;
+  flaky.fault_seed = 99;
+  Cluster failing(flaky);
+
+  JobConfig job;
+  job.num_reduce_tasks = 3;
+  Dataset expected = stable.Run(
+      job, input, [] { return std::make_unique<WordCountMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+  Dataset actual = failing.Run(
+      job, input, [] { return std::make_unique<WordCountMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+
+  // Re-executed tasks change nothing about the output...
+  EXPECT_EQ(actual, expected);
+  // ...but the retries are visible in the metrics.
+  EXPECT_GT(failing.history()[0].task_retries, 0u);
+  EXPECT_EQ(stable.history()[0].task_retries, 0u);
+}
+
+TEST(Cluster, FaultInjectionIsDeterministic) {
+  ClusterConfig flaky;
+  flaky.task_failure_probability = 0.3;
+  flaky.fault_seed = 7;
+  flaky.block_size_bytes = 32;
+  JobConfig job;
+  std::uint64_t first_retries = 0;
+  for (int round = 0; round < 2; ++round) {
+    Cluster cluster(flaky);
+    cluster.Run(
+        job, WordCountInput(),
+        [] { return std::make_unique<WordCountMapper>(); },
+        [] { return std::make_unique<SumReducer>(); });
+    if (round == 0) {
+      first_retries = cluster.history()[0].task_retries;
+    } else {
+      EXPECT_EQ(cluster.history()[0].task_retries, first_retries);
+    }
+  }
+}
+
+TEST(Cluster, PermanentFailureExhaustsAttemptsAndThrows) {
+  ClusterConfig doomed;
+  doomed.task_failure_probability = 1.0;
+  doomed.max_task_attempts = 3;
+  Cluster cluster(doomed);
+  JobConfig job;
+  EXPECT_THROW(cluster.Run(
+                   job, WordCountInput(),
+                   [] { return std::make_unique<WordCountMapper>(); },
+                   [] { return std::make_unique<SumReducer>(); }),
+               std::runtime_error);
+}
+
+TEST(Metrics, SumAndModeledTime) {
+  JobMetrics a;
+  a.map_input_bytes = 1000;
+  a.map_output_bytes = 500;
+  a.map_tasks = 2;
+  a.reduce_tasks = 2;
+  JobMetrics b = a;
+  JobMetrics total = SumMetrics({a, b});
+  EXPECT_EQ(total.jobs, 2u);
+  EXPECT_EQ(total.map_input_bytes, 2000u);
+  EXPECT_EQ(total.map_tasks, 4u);
+
+  CostModel cost;
+  // Two jobs must pay two job-startup overheads.
+  EXPECT_GE(total.ModeledSec(cost), 2 * cost.per_job_overhead_sec);
+  // More data => more modeled time.
+  JobMetrics big = a;
+  big.map_output_bytes = 500'000'000;
+  EXPECT_GT(big.ModeledSec(cost), a.ModeledSec(cost));
+}
+
+}  // namespace
+}  // namespace dash::mr

@@ -1,0 +1,139 @@
+// Tests for the shared MapReduce plumbing of the crawl pipelines
+// (core/mr_common.h): table export, row codecs, join jobs over trees, and
+// phase snapshotting.
+#include <gtest/gtest.h>
+
+#include "core/crawler.h"
+#include "core/mr_common.h"
+#include "sql/parser.h"
+#include "testing/fooddb.h"
+#include "util/csv.h"
+
+namespace dash::core {
+namespace {
+
+TEST(MrCommon, ExportTablePreservesRowsAndSchema) {
+  db::Database db = dash::testing::MakeFoodDb();
+  MrTable exported = ExportTable(db.table("restaurant"));
+  EXPECT_EQ(exported.data.size(), 7u);
+  EXPECT_EQ(exported.schema.size(), 5u);
+  for (const mr::Record& r : exported.data) {
+    EXPECT_TRUE(r.key.empty());
+    db::Row row = ParseEncodedRow(exported.schema, r.value);
+    EXPECT_EQ(row.size(), 5u);
+  }
+}
+
+TEST(MrCommon, EncodeParseRowRoundTrip) {
+  db::Schema schema({{"t", "a", db::ValueType::kInt},
+                     {"t", "b", db::ValueType::kString},
+                     {"t", "c", db::ValueType::kDouble}});
+  db::Row row = {7, "text with\ttab", 2.5};
+  EXPECT_EQ(ParseEncodedRow(schema, EncodeRow(row)), row);
+  db::Row nulls = {db::Value::Null(), db::Value::Null(), db::Value::Null()};
+  EXPECT_EQ(ParseEncodedRow(schema, EncodeRow(nulls)), nulls);
+}
+
+TEST(MrCommon, ParseEncodedRowArityChecked) {
+  db::Schema schema({{"t", "a", db::ValueType::kInt}});
+  EXPECT_THROW(ParseEncodedRow(schema, "1\t2"), std::runtime_error);
+}
+
+TEST(MrCommon, MrJoinInnerMatchesExpectedRows) {
+  db::Database db = dash::testing::MakeFoodDb();
+  mr::Cluster cluster;
+  MrTable joined = MrJoin(cluster, "test", ExportTable(db.table("comment")),
+                          ExportTable(db.table("customer")), "comment.uid",
+                          "customer.uid", sql::JoinKind::kInner, 2);
+  EXPECT_EQ(joined.data.size(), 6u);  // every comment has its customer
+  EXPECT_EQ(joined.schema.size(), 5u + 2u);
+  // Column positions survive: customer.uname is the last field.
+  int uname = joined.schema.IndexOf("customer.uname");
+  EXPECT_EQ(uname, 6);
+}
+
+TEST(MrCommon, MrJoinLeftOuterPadsNulls) {
+  db::Database db = dash::testing::MakeFoodDb();
+  mr::Cluster cluster;
+  MrTable joined = MrJoin(cluster, "test", ExportTable(db.table("restaurant")),
+                          ExportTable(db.table("comment")), "restaurant.rid",
+                          "comment.rid", sql::JoinKind::kLeftOuter, 2);
+  EXPECT_EQ(joined.data.size(), 8u);
+  int comment_col = joined.schema.IndexOf("comment.comment");
+  std::size_t padded = 0;
+  for (const mr::Record& r : joined.data) {
+    db::Row row = ParseEncodedRow(joined.schema, r.value);
+    if (row[static_cast<std::size_t>(comment_col)].is_null()) ++padded;
+  }
+  EXPECT_EQ(padded, 2u);
+}
+
+TEST(MrCommon, MrJoinTreeMatchesSingleNodeJoin) {
+  db::Database db = dash::testing::MakeFoodDb();
+  sql::PsjQuery query = dash::testing::MakeSearchApp().query;
+  mr::Cluster cluster;
+  MrTable joined = MrJoinTree(
+      cluster, db, *query.from,
+      [&db](const std::string& rel) { return ExportTable(db.table(rel)); },
+      2, "test-");
+  Crawler crawler(db, query);
+  EXPECT_EQ(joined.data.size(), crawler.EvalJoin().row_count());
+  // One MR job per internal join node.
+  EXPECT_EQ(cluster.history().size(), 2u);
+}
+
+TEST(MrCommon, SnapshotPhaseSumsJobWindow) {
+  db::Database db = dash::testing::MakeFoodDb();
+  sql::PsjQuery query = dash::testing::MakeSearchApp().query;
+  mr::Cluster cluster;
+  MrJoinTree(
+      cluster, db, *query.from,
+      [&db](const std::string& rel) { return ExportTable(db.table(rel)); },
+      2, "t-");
+  CrawlPhase all = SnapshotPhase(cluster, 0, "all");
+  CrawlPhase last = SnapshotPhase(cluster, 1, "last");
+  EXPECT_EQ(all.metrics.jobs, 2u);
+  EXPECT_EQ(last.metrics.jobs, 1u);
+  EXPECT_GE(all.metrics.map_input_records, last.metrics.map_input_records);
+  EXPECT_EQ(all.name, "all");
+}
+
+TEST(MrCommon, ResolvedJoinEdgesForQ3Shape) {
+  db::Database db = dash::testing::MakeFoodDb();
+  sql::PsjQuery query = sql::Parse(
+      "SELECT * FROM restaurant LEFT JOIN (comment JOIN customer) "
+      "WHERE cuisine = $c");
+  auto edges = ResolvedJoinEdges(db, *query.from);
+  ASSERT_EQ(edges.size(), 2u);
+  // Post-order: inner (comment, customer) first, then the outer join.
+  EXPECT_EQ(edges[0].first, "comment.uid");
+  EXPECT_EQ(edges[0].second, "customer.uid");
+  EXPECT_EQ(edges[1].first, "restaurant.rid");
+  EXPECT_EQ(edges[1].second, "comment.rid");
+}
+
+TEST(MrCommon, InvertedListReducerSortsAndSums) {
+  InvertedListReducer reducer;
+  class Capture : public mr::Emitter {
+   public:
+    void Emit(std::string key, std::string value) override {
+      records.push_back({std::move(key), std::move(value)});
+    }
+    mr::Dataset records;
+  } out;
+  auto pair = [](const char* frag, const char* occ) {
+    return util::EncodeFields(std::vector<std::string>{frag, occ});
+  };
+  reducer.Reduce("w", {pair("A", "1"), pair("B", "5"), pair("A", "2")}, out);
+  ASSERT_EQ(out.records.size(), 1u);
+  auto fields = util::DecodeFields(out.records[0].value);
+  // B:5 first (highest TF), then A:3 (summed).
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "B");
+  EXPECT_EQ(fields[1], "5");
+  EXPECT_EQ(fields[2], "A");
+  EXPECT_EQ(fields[3], "3");
+}
+
+}  // namespace
+}  // namespace dash::core

@@ -1,0 +1,117 @@
+// Multi-application search tests (paper Section VIII item 2): federation
+// over several web applications with duplicate-content elimination.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/multi_app.h"
+#include "sql/parser.h"
+#include "testing/fooddb.h"
+
+namespace dash::core {
+namespace {
+
+DashEngine BuildEngine(webapp::WebAppInfo app) {
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kReference;
+  static db::Database db = dash::testing::MakeFoodDb();
+  return DashEngine::Build(db, std::move(app), options);
+}
+
+// A second application generating pages with the SAME content as Search
+// but under different URLs (mirror deployment) — the paper's duplicated-
+// content case.
+webapp::WebAppInfo MakeMirrorApp() {
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+  app.name = "Mirror";
+  app.uri = "mirror.example.com/Find";
+  return app;
+}
+
+// A third application projecting different attributes: overlapping topic,
+// different content; must NOT be deduplicated against Search.
+webapp::WebAppInfo MakeRatingApp() {
+  webapp::WebAppInfo app;
+  app.name = "Ratings";
+  app.uri = "www.example.com/Ratings";
+  app.query = sql::Parse(
+      "SELECT name, rate, comment FROM restaurant LEFT JOIN comment "
+      "WHERE cuisine = $cuisine AND budget BETWEEN $min AND $max");
+  app.codec = webapp::QueryStringCodec(
+      {{"c", "cuisine"}, {"l", "min"}, {"u", "max"}});
+  return app;
+}
+
+TEST(MultiApp, RejectsDuplicateNames) {
+  MultiAppEngine multi;
+  multi.AddApp(BuildEngine(dash::testing::MakeSearchApp()));
+  EXPECT_THROW(multi.AddApp(BuildEngine(dash::testing::MakeSearchApp())),
+               std::runtime_error);
+  EXPECT_EQ(multi.app_count(), 1u);
+}
+
+TEST(MultiApp, AppLookup) {
+  MultiAppEngine multi;
+  multi.AddApp(BuildEngine(dash::testing::MakeSearchApp()));
+  EXPECT_EQ(multi.app("Search").app().uri, "www.example.com/Search");
+  EXPECT_THROW(multi.app("Nope"), std::runtime_error);
+}
+
+TEST(MultiApp, MirroredContentIsDeduplicated) {
+  MultiAppEngine multi;
+  multi.AddApp(BuildEngine(dash::testing::MakeSearchApp()));
+  multi.AddApp(BuildEngine(MakeMirrorApp()));
+
+  // Without dedup, every page would appear twice (identical content under
+  // two URLs). With dedup the result list matches a single app's.
+  auto results = multi.Search({"burger"}, 10, 20);
+  ASSERT_EQ(results.size(), 2u);
+  std::set<std::uint64_t> hashes;
+  for (const auto& r : results) {
+    EXPECT_TRUE(hashes.insert(r.content_hash).second);
+  }
+}
+
+TEST(MultiApp, DifferentContentSurvivesDedup) {
+  MultiAppEngine multi;
+  multi.AddApp(BuildEngine(dash::testing::MakeSearchApp()));
+  multi.AddApp(BuildEngine(MakeRatingApp()));
+
+  // The Ratings app projects fewer attributes, so its fragments carry
+  // different keyword bags: both apps' pages must appear.
+  auto results = multi.Search({"burger"}, 10, 20);
+  std::set<std::string> apps;
+  for (const auto& r : results) apps.insert(r.app);
+  EXPECT_EQ(apps.size(), 2u);
+}
+
+TEST(MultiApp, ResultsSortedByScoreAndCapped) {
+  MultiAppEngine multi;
+  multi.AddApp(BuildEngine(dash::testing::MakeSearchApp()));
+  multi.AddApp(BuildEngine(MakeRatingApp()));
+  auto results = multi.Search({"burger"}, 3, 1);
+  EXPECT_LE(results.size(), 3u);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].result.score, results[i].result.score);
+  }
+}
+
+TEST(MultiApp, EmptyEngineReturnsNothing) {
+  MultiAppEngine multi;
+  EXPECT_TRUE(multi.Search({"burger"}, 5, 20).empty());
+}
+
+TEST(MultiApp, PageContentHashIsOrderIndependent) {
+  DashEngine engine = BuildEngine(dash::testing::MakeSearchApp());
+  auto results = engine.Search({"burger"}, 2, 1000);  // multi-fragment page
+  ASSERT_FALSE(results.empty());
+  SearchResult r = results.back();
+  ASSERT_GE(r.fragments.size(), 2u);
+  std::uint64_t h = MultiAppEngine::PageContentHash(engine, r);
+  std::reverse(r.fragments.begin(), r.fragments.end());
+  EXPECT_EQ(MultiAppEngine::PageContentHash(engine, r), h);
+}
+
+}  // namespace
+}  // namespace dash::core

@@ -1,0 +1,116 @@
+// End-to-end coverage of the non-standard selection shapes: equality-only
+// queries (every db-page is a single fragment) and multi-range-attribute
+// queries (the generic empty-box fragment graph drives page assembly).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dash_engine.h"
+#include "sql/parser.h"
+#include "testing/fooddb.h"
+
+namespace dash::core {
+namespace {
+
+DashEngine BuildEngine(const std::string& sql,
+                       std::vector<webapp::ParamBinding> bindings) {
+  webapp::WebAppInfo app;
+  app.name = "App";
+  app.uri = "example.com/app";
+  app.query = sql::Parse(sql);
+  app.codec = webapp::QueryStringCodec(std::move(bindings));
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kReference;
+  return DashEngine::Build(dash::testing::MakeFoodDb(), app, options);
+}
+
+// ---------- Equality-only (zero range attributes) ----------
+
+TEST(EqualityOnly, PagesAreSingleFragments) {
+  DashEngine engine = BuildEngine(
+      "SELECT name, budget, rate FROM restaurant WHERE cuisine = $c",
+      {{"c", "c"}});
+  EXPECT_EQ(engine.catalog().size(), 2u);      // American, Thai
+  EXPECT_EQ(engine.graph().edge_count(), 0u);  // no combinable pages
+  // Even a huge size threshold cannot grow a page: no neighbors exist.
+  auto results = engine.Search({"wandy's"}, 3, 100000);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].fragments.size(), 1u);
+  EXPECT_EQ(results[0].url, "example.com/app?c=American");
+}
+
+TEST(EqualityOnly, UrlHasNoRangeParameters) {
+  DashEngine engine = BuildEngine(
+      "SELECT name, budget, rate FROM restaurant WHERE cuisine = $c",
+      {{"c", "c"}});
+  auto results = engine.Search({"thaifood"}, 1, 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].url, "example.com/app?c=Thai");
+  EXPECT_EQ(results[0].params.size(), 1u);
+}
+
+// ---------- Two range attributes (generic graph) ----------
+
+class TwoRangeTest : public ::testing::Test {
+ protected:
+  TwoRangeTest()
+      : engine_(BuildEngine(
+            "SELECT name, cuisine FROM restaurant "
+            "WHERE budget BETWEEN $bl AND $bu AND rate BETWEEN $rl AND $ru",
+            {{"bl", "bl"}, {"bu", "bu"}, {"rl", "rl"}, {"ru", "ru"}})) {}
+
+  DashEngine engine_;
+};
+
+TEST_F(TwoRangeTest, FragmentsArePointsInTheRangePlane) {
+  // Distinct (budget, rate) pairs: (10,4.3),(18,2.2),(12,4.1),(12,4.2),
+  // (10,4.8),(10,3.9),(9,4.3) -> 7 fragments in one group.
+  EXPECT_EQ(engine_.catalog().size(), 7u);
+  EXPECT_EQ(engine_.graph().num_groups(), 1u);
+  EXPECT_EQ(engine_.graph().num_range_attributes(), 2u);
+  EXPECT_GT(engine_.graph().edge_count(), 0u);
+}
+
+TEST_F(TwoRangeTest, SearchAssemblesBoxPages) {
+  auto results = engine_.Search({"wandy's"}, 2, 10);
+  ASSERT_FALSE(results.empty());
+  const SearchResult& r = results[0];
+  // The page's parameters span the bounding box of its fragments.
+  ASSERT_EQ(r.params.size(), 4u);
+  db::Value bl = db::Value::Parse(r.params.at("bl"), db::ValueType::kInt);
+  db::Value bu = db::Value::Parse(r.params.at("bu"), db::ValueType::kInt);
+  db::Value rl = db::Value::Parse(r.params.at("rl"), db::ValueType::kDouble);
+  db::Value ru = db::Value::Parse(r.params.at("ru"), db::ValueType::kDouble);
+  for (FragmentHandle f : r.fragments) {
+    const db::Row& id = engine_.catalog().id(f);
+    EXPECT_TRUE(!(id[0] < bl) && !(bu < id[0]));
+    EXPECT_TRUE(!(id[1] < rl) && !(ru < id[1]));
+  }
+  // Both Wandy's variants (12,4.1) and (12,4.2) are box-adjacent, so the
+  // expansion merges them.
+  EXPECT_GE(r.fragments.size(), 2u);
+}
+
+TEST_F(TwoRangeTest, ExpansionFollowsBoxAdjacency) {
+  // Every result's fragment set must be connected in the fragment graph.
+  for (const auto& r : engine_.Search({"american"}, 3, 15)) {
+    if (r.fragments.size() < 2) continue;
+    // BFS over the subgraph induced by the page's fragments.
+    std::set<FragmentHandle> members(r.fragments.begin(), r.fragments.end());
+    std::set<FragmentHandle> reached = {r.fragments[0]};
+    std::vector<FragmentHandle> frontier = {r.fragments[0]};
+    while (!frontier.empty()) {
+      FragmentHandle f = frontier.back();
+      frontier.pop_back();
+      for (FragmentHandle n : engine_.graph().Neighbors(f)) {
+        if (members.contains(n) && reached.insert(n).second) {
+          frontier.push_back(n);
+        }
+      }
+    }
+    EXPECT_EQ(reached.size(), members.size()) << "disconnected page";
+  }
+}
+
+}  // namespace
+}  // namespace dash::core

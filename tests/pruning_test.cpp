@@ -1,0 +1,115 @@
+// Fragment pruning tests (paper Section VIII item 3): the crawl-scope /
+// efficiency tradeoff.
+#include <gtest/gtest.h>
+
+#include "core/crawler.h"
+#include "core/dash_engine.h"
+#include "core/pruning.h"
+#include "sql/parser.h"
+#include "testing/fooddb.h"
+#include "tpch/tpch.h"
+
+namespace dash::core {
+namespace {
+
+FragmentIndexBuild FoodDbBuild() {
+  db::Database db = dash::testing::MakeFoodDb();
+  return Crawler(db, dash::testing::MakeSearchApp().query).BuildIndex();
+}
+
+TEST(Pruning, ThresholdZeroKeepsEverything) {
+  FragmentIndexBuild build = FoodDbBuild();
+  PruneStats stats;
+  FragmentIndexBuild pruned = PruneFragments(build, 0, &stats);
+  EXPECT_EQ(pruned.catalog.size(), build.catalog.size());
+  EXPECT_EQ(stats.dropped_fragments, 0u);
+  EXPECT_DOUBLE_EQ(stats.KeywordRecall(), 1.0);
+  EXPECT_EQ(pruned.index.ToDebugString(pruned.catalog),
+            build.index.ToDebugString(build.catalog));
+}
+
+TEST(Pruning, DropsSmallFragments) {
+  // fooddb fragment sizes: 8, 8, 17, 8, 10. Threshold 10 keeps two.
+  FragmentIndexBuild build = FoodDbBuild();
+  PruneStats stats;
+  FragmentIndexBuild pruned = PruneFragments(build, 10, &stats);
+  EXPECT_EQ(pruned.catalog.size(), 2u);
+  EXPECT_EQ(stats.dropped_fragments, 3u);
+  EXPECT_TRUE(pruned.catalog.Find({db::Value("American"), db::Value(12)})
+                  .has_value());
+  EXPECT_TRUE(pruned.catalog.Find({db::Value("Thai"), db::Value(10)})
+                  .has_value());
+  // Keywords only present in dropped fragments are gone.
+  EXPECT_EQ(pruned.index.Df("coffee"), 0u);   // lived in (American, 9)
+  EXPECT_EQ(pruned.index.Df("fries"), 1u);    // lives in (American, 12)
+  EXPECT_LT(stats.KeywordRecall(), 1.0);
+  EXPECT_LT(stats.index_bytes_after, stats.index_bytes_before);
+}
+
+TEST(Pruning, KeptPostingsUnchanged) {
+  FragmentIndexBuild build = FoodDbBuild();
+  FragmentIndexBuild pruned = PruneFragments(build, 10, nullptr);
+  auto postings = pruned.index.Lookup("burger");
+  // (American,10) dropped (8 words); (American,12) and (Thai,10) remain.
+  ASSERT_EQ(postings.size(), 2u);
+  for (const Posting& p : postings) {
+    EXPECT_EQ(p.occurrences, 1u);
+    EXPECT_GE(pruned.catalog.keyword_total(p.fragment), 10u);
+  }
+}
+
+TEST(Pruning, HandlesStayCanonical) {
+  FragmentIndexBuild build = FoodDbBuild();
+  FragmentIndexBuild pruned = PruneFragments(build, 9, nullptr);
+  for (std::size_t f = 0; f + 1 < pruned.catalog.size(); ++f) {
+    EXPECT_LT(pruned.catalog.id(static_cast<FragmentHandle>(f)),
+              pruned.catalog.id(static_cast<FragmentHandle>(f + 1)));
+  }
+  // A graph can be built directly on the pruned catalog.
+  FragmentGraph graph = FragmentGraph::Build(pruned.catalog, 1, 1);
+  EXPECT_EQ(graph.node_count(), pruned.catalog.size());
+}
+
+TEST(Pruning, RecallDecreasesMonotonicallyWithThreshold) {
+  db::Database db = tpch::Generate(tpch::Scale::kTiny);
+  sql::PsjQuery query = sql::Parse(
+      "SELECT * FROM (customer JOIN orders) JOIN lineitem "
+      "WHERE customer.cid = $r AND qty BETWEEN $min AND $max");
+  FragmentIndexBuild build = Crawler(db, query).BuildIndex();
+  double last_recall = 1.1;
+  std::size_t last_size = build.catalog.size() + 1;
+  for (std::uint64_t threshold : {0, 20, 40, 80, 160}) {
+    PruneStats stats;
+    PruneFragments(build, threshold, &stats);
+    EXPECT_LE(stats.KeywordRecall(), last_recall);
+    EXPECT_LE(stats.kept_fragments, last_size);
+    last_recall = stats.KeywordRecall();
+    last_size = stats.kept_fragments;
+  }
+}
+
+TEST(Pruning, EngineBuildOptionApplies) {
+  db::Database db = dash::testing::MakeFoodDb();
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kIntegrated;
+  options.min_fragment_keywords = 10;
+  DashEngine engine =
+      DashEngine::Build(db, dash::testing::MakeSearchApp(), options);
+  EXPECT_EQ(engine.catalog().size(), 2u);
+  // Searches operate on the pruned index.
+  auto results = engine.Search({"burger"}, 5, 1);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].url, "www.example.com/Search?c=Thai&l=10&u=10");
+}
+
+TEST(Pruning, AllFragmentsDropped) {
+  FragmentIndexBuild build = FoodDbBuild();
+  PruneStats stats;
+  FragmentIndexBuild pruned = PruneFragments(build, 1000000, &stats);
+  EXPECT_EQ(pruned.catalog.size(), 0u);
+  EXPECT_EQ(stats.kept_keywords, 0u);
+  EXPECT_DOUBLE_EQ(stats.KeywordRecall(), 0.0);
+}
+
+}  // namespace
+}  // namespace dash::core

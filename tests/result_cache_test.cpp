@@ -1,0 +1,143 @@
+// Result cache tests: hit/miss accounting, LRU eviction, generation
+// invalidation, thread safety, and the seed-cap search option.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/result_cache.h"
+#include "testing/fooddb.h"
+#include "tpch/tpch.h"
+#include "sql/parser.h"
+
+namespace dash::core {
+namespace {
+
+DashEngine BuildFoodDbEngine() {
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kReference;
+  return DashEngine::Build(dash::testing::MakeFoodDb(),
+                           dash::testing::MakeSearchApp(), options);
+}
+
+TEST(ResultCache, MissThenHit) {
+  DashEngine engine = BuildFoodDbEngine();
+  CachingEngine caching(engine, 16);
+  auto first = caching.Search({"burger"}, 2, 20);
+  auto second = caching.Search({"burger"}, 2, 20);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].url, second[i].url);
+  }
+  EXPECT_EQ(caching.cache().stats().hits, 1u);
+  EXPECT_EQ(caching.cache().stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(caching.cache().stats().HitRate(), 0.5);
+}
+
+TEST(ResultCache, KeyCoversAllQueryDimensions) {
+  DashEngine engine = BuildFoodDbEngine();
+  CachingEngine caching(engine, 16);
+  (void)caching.Search({"burger"}, 2, 20);
+  (void)caching.Search({"burger"}, 3, 20);   // different k
+  (void)caching.Search({"burger"}, 2, 50);   // different s
+  (void)caching.Search({"fries"}, 2, 20);    // different keyword
+  EXPECT_EQ(caching.cache().stats().misses, 4u);
+  EXPECT_EQ(caching.cache().stats().hits, 0u);
+}
+
+TEST(ResultCache, KeywordOrderDoesNotMatter) {
+  DashEngine engine = BuildFoodDbEngine();
+  CachingEngine caching(engine, 16);
+  (void)caching.Search({"burger", "fries"}, 2, 20);
+  (void)caching.Search({"fries", "burger"}, 2, 20);
+  EXPECT_EQ(caching.cache().stats().hits, 1u);
+}
+
+TEST(ResultCache, LruEvicts) {
+  ResultCache cache(2);
+  cache.Insert({"a"}, 1, 1, {});
+  cache.Insert({"b"}, 1, 1, {});
+  ASSERT_TRUE(cache.Lookup({"a"}, 1, 1).has_value());  // touch a
+  cache.Insert({"c"}, 1, 1, {});                       // evicts b
+  EXPECT_TRUE(cache.Lookup({"a"}, 1, 1).has_value());
+  EXPECT_FALSE(cache.Lookup({"b"}, 1, 1).has_value());
+  EXPECT_TRUE(cache.Lookup({"c"}, 1, 1).has_value());
+  EXPECT_LE(cache.size(), 2u);
+}
+
+TEST(ResultCache, InvalidateDropsEverything) {
+  ResultCache cache(8);
+  cache.Insert({"a"}, 1, 1, {});
+  ASSERT_TRUE(cache.Lookup({"a"}, 1, 1).has_value());
+  cache.Invalidate();
+  EXPECT_FALSE(cache.Lookup({"a"}, 1, 1).has_value());
+  // Re-inserting under the new generation works.
+  cache.Insert({"a"}, 1, 1, {});
+  EXPECT_TRUE(cache.Lookup({"a"}, 1, 1).has_value());
+}
+
+TEST(ResultCache, ZeroCapacityNeverStores) {
+  ResultCache cache(0);
+  cache.Insert({"a"}, 1, 1, {});
+  EXPECT_FALSE(cache.Lookup({"a"}, 1, 1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCache, ConcurrentAccessIsSafe) {
+  DashEngine engine = BuildFoodDbEngine();
+  CachingEngine caching(engine, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&caching, t] {
+      const char* keyword = (t % 2 == 0) ? "burger" : "fries";
+      for (int i = 0; i < 50; ++i) {
+        auto results = caching.Search({keyword}, 2, 20);
+        ASSERT_FALSE(results.empty());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(caching.cache().stats().hits + caching.cache().stats().misses,
+            200u);
+  EXPECT_GT(caching.cache().stats().HitRate(), 0.9);
+}
+
+// ---------- Seed-cap search option ----------
+
+TEST(SeedCap, LargeCapIsExact) {
+  db::Database db = tpch::Generate(tpch::Scale::kTiny);
+  webapp::WebAppInfo app;
+  app.name = "Q2";
+  app.uri = "example.com/q2";
+  app.query = sql::Parse(
+      "SELECT * FROM (customer JOIN orders) JOIN lineitem "
+      "WHERE customer.cid = $r AND qty BETWEEN $min AND $max");
+  app.codec =
+      webapp::QueryStringCodec({{"r", "r"}, {"l", "min"}, {"u", "max"}});
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kReference;
+  DashEngine engine = DashEngine::Build(db, app, options);
+
+  auto by_df = engine.index().KeywordsByDf();
+  const std::string hot = by_df.front().first;
+  auto uncapped = engine.Search({hot}, 5, 100);
+  auto capped = engine.Search({hot}, 5, 100, engine.catalog().size());
+  ASSERT_EQ(uncapped.size(), capped.size());
+  for (std::size_t i = 0; i < uncapped.size(); ++i) {
+    EXPECT_EQ(uncapped[i].url, capped[i].url);
+  }
+}
+
+TEST(SeedCap, TightCapStillReturnsTopPages) {
+  db::Database db = dash::testing::MakeFoodDb();
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kReference;
+  DashEngine engine =
+      DashEngine::Build(db, dash::testing::MakeSearchApp(), options);
+  // Cap to 1 seed: only the best-scored relevant fragment is explored.
+  auto results = engine.Search({"burger"}, 5, 1, 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].url, "www.example.com/Search?c=American&l=10&u=10");
+}
+
+}  // namespace
+}  // namespace dash::core

@@ -1,0 +1,260 @@
+// Failure-injection and edge-case tests: malformed inputs, degenerate
+// databases, and queries at the boundaries of the supported model must
+// fail loudly (never crash, never silently mis-index).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/dash_engine.h"
+#include "core/mr_crawl.h"
+#include "sql/parser.h"
+#include "testing/fooddb.h"
+#include "webapp/servlet_analyzer.h"
+
+namespace dash::core {
+namespace {
+
+db::Database EmptyFoodDb() {
+  // Same schema and foreign keys as fooddb, zero rows.
+  db::Database db;
+  db::Database reference = dash::testing::MakeFoodDb();
+  for (const std::string& name : reference.TableNames()) {
+    db.AddTable(db::Table(name, reference.table(name).schema()));
+  }
+  for (const db::ForeignKey& fk : reference.foreign_keys()) {
+    db.AddForeignKey(fk);
+  }
+  return db;
+}
+
+// ---------- Query resolution failures ----------
+
+TEST(Robustness, UnknownRelationRejected) {
+  db::Database db = dash::testing::MakeFoodDb();
+  sql::PsjQuery query = sql::Parse("SELECT * FROM ghosts WHERE x = $p");
+  EXPECT_THROW(Crawler(db, query), std::runtime_error);
+}
+
+TEST(Robustness, UnknownSelectionColumnRejected) {
+  db::Database db = dash::testing::MakeFoodDb();
+  sql::PsjQuery query =
+      sql::Parse("SELECT name FROM restaurant WHERE nonexistent = $p");
+  EXPECT_THROW(Crawler(db, query), std::runtime_error);
+}
+
+TEST(Robustness, UnknownProjectionColumnRejected) {
+  db::Database db = dash::testing::MakeFoodDb();
+  sql::PsjQuery query =
+      sql::Parse("SELECT nonexistent FROM restaurant WHERE cuisine = $p");
+  EXPECT_THROW(Crawler(db, query), std::runtime_error);
+}
+
+TEST(Robustness, JoinWithoutForeignKeyRejected) {
+  db::Database db = dash::testing::MakeFoodDb();
+  // restaurant and customer have no FK between them.
+  sql::PsjQuery query =
+      sql::Parse("SELECT * FROM restaurant JOIN customer WHERE cuisine = $p");
+  Crawler crawler(db, query);  // construction resolves lazily via schemas
+  EXPECT_THROW(crawler.EvalJoin(), std::runtime_error);
+}
+
+TEST(Robustness, AmbiguousBareColumnRejected) {
+  db::Database db = dash::testing::MakeFoodDb();
+  // "rid" exists in restaurant and comment: bare reference is ambiguous.
+  sql::PsjQuery query = sql::Parse(
+      "SELECT * FROM restaurant LEFT JOIN comment WHERE rid = $p");
+  EXPECT_THROW(Crawler(db, query), std::runtime_error);
+}
+
+// ---------- Degenerate databases ----------
+
+TEST(Robustness, EmptyDatabaseYieldsEmptyIndex) {
+  db::Database db = EmptyFoodDb();
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+  for (CrawlAlgorithm algorithm :
+       {CrawlAlgorithm::kReference, CrawlAlgorithm::kStepwise,
+        CrawlAlgorithm::kIntegrated}) {
+    BuildOptions options;
+    options.algorithm = algorithm;
+    DashEngine engine = DashEngine::Build(db, app, options);
+    EXPECT_EQ(engine.catalog().size(), 0u)
+        << CrawlAlgorithmName(algorithm);
+    EXPECT_TRUE(engine.Search({"burger"}, 5, 20).empty());
+  }
+}
+
+TEST(Robustness, SingleRowDatabase) {
+  db::Database db = EmptyFoodDb();
+  db.mutable_table("restaurant").AddRow({1, "Solo", "American", 10, 4.0});
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kIntegrated;
+  DashEngine engine = DashEngine::Build(db, app, options);
+  EXPECT_EQ(engine.catalog().size(), 1u);
+  auto results = engine.Search({"solo"}, 1, 100);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].url, "www.example.com/Search?c=American&l=10&u=10");
+}
+
+TEST(Robustness, RowsWithNullSelectionValuesAreUnreachable) {
+  db::Database db = EmptyFoodDb();
+  db.mutable_table("restaurant")
+      .AddRow({1, "NoCuisine", db::Value::Null(), 10, 4.0});
+  db.mutable_table("restaurant").AddRow({2, "Normal", "Thai", 9, 4.0});
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+  for (CrawlAlgorithm algorithm :
+       {CrawlAlgorithm::kReference, CrawlAlgorithm::kStepwise,
+        CrawlAlgorithm::kIntegrated}) {
+    BuildOptions options;
+    options.algorithm = algorithm;
+    DashEngine engine = DashEngine::Build(db, app, options);
+    // The NULL-cuisine restaurant satisfies no query string: one fragment.
+    EXPECT_EQ(engine.catalog().size(), 1u) << CrawlAlgorithmName(algorithm);
+    EXPECT_TRUE(engine.Search({"nocuisine"}, 1, 1).empty());
+    EXPECT_FALSE(engine.Search({"normal"}, 1, 1).empty());
+  }
+}
+
+TEST(Robustness, HostileStringsSurviveTheFullPipeline) {
+  // Values full of delimiter characters must round-trip through the MR
+  // text encodings without corrupting the index.
+  db::Database db = EmptyFoodDb();
+  db.mutable_table("restaurant")
+      .AddRow({1, "tab\there & new\nline", "cu\\isine", 10, 4.0});
+  db.mutable_table("comment")
+      .AddRow({201, 1, 109, "100%\t\"quoted\"\\escape", "01/01"});
+  db.mutable_table("customer").AddRow({109, "We:ird=Name&x"});
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+
+  BuildOptions reference, integrated;
+  reference.algorithm = CrawlAlgorithm::kReference;
+  integrated.algorithm = CrawlAlgorithm::kIntegrated;
+  DashEngine a = DashEngine::Build(db, app, reference);
+  DashEngine b = DashEngine::Build(db, app, integrated);
+  EXPECT_EQ(a.index().ToDebugString(a.catalog()),
+            b.index().ToDebugString(b.catalog()));
+  EXPECT_EQ(a.catalog().size(), 1u);
+
+  // The URL round-trips the hostile equality value. ("100%" normalizes to
+  // the token "100"; the quoted blob stays one token with its interior
+  // punctuation, searchable verbatim.)
+  auto results = a.Search({"100%"}, 1, 1);
+  ASSERT_EQ(results.size(), 1u);
+  auto query_start = results[0].url.find('?');
+  auto params = app.codec.Parse(results[0].url.substr(query_start + 1));
+  EXPECT_EQ(params.at("cuisine"), "cu\\isine");
+}
+
+// ---------- Search-time edge cases ----------
+
+TEST(Robustness, NegativeAndZeroKAreEmpty) {
+  db::Database db = dash::testing::MakeFoodDb();
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kReference;
+  DashEngine engine =
+      DashEngine::Build(db, dash::testing::MakeSearchApp(), options);
+  EXPECT_TRUE(engine.Search({"burger"}, 0, 20).empty());
+  EXPECT_TRUE(engine.Search({"burger"}, -3, 20).empty());
+}
+
+TEST(Robustness, ZeroSizeThresholdBehavesLikeOne) {
+  db::Database db = dash::testing::MakeFoodDb();
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kReference;
+  DashEngine engine =
+      DashEngine::Build(db, dash::testing::MakeSearchApp(), options);
+  // s=0: every seed is immediately non-expandable.
+  auto results = engine.Search({"burger"}, 3, 0);
+  EXPECT_EQ(results.size(), 3u);
+  for (const auto& r : results) EXPECT_EQ(r.fragments.size(), 1u);
+}
+
+TEST(Robustness, QueryOfOnlyPunctuationIsEmpty) {
+  db::Database db = dash::testing::MakeFoodDb();
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kReference;
+  DashEngine engine =
+      DashEngine::Build(db, dash::testing::MakeSearchApp(), options);
+  EXPECT_TRUE(engine.Search({"...", "!!", "&&&"}, 5, 20).empty());
+}
+
+TEST(Robustness, ConcurrentSearchesAreSafeAndDeterministic) {
+  // DashEngine::Search is const and must be safely callable from many
+  // threads; all threads see identical results.
+  db::Database db = dash::testing::MakeFoodDb();
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kReference;
+  DashEngine engine =
+      DashEngine::Build(db, dash::testing::MakeSearchApp(), options);
+  auto expected = engine.Search({"burger"}, 2, 20);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&engine, &expected, &mismatches] {
+      for (int i = 0; i < 100; ++i) {
+        auto results = engine.Search({"burger"}, 2, 20);
+        if (results.size() != expected.size()) {
+          ++mismatches;
+          continue;
+        }
+        for (std::size_t r = 0; r < results.size(); ++r) {
+          if (results[r].url != expected[r].url) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---------- Analyzer hostility ----------
+
+TEST(Robustness, AnalyzerSurvivesJunkSources) {
+  for (const char* junk :
+       {"", "int main() { return 0; }", "SELECT * FROM x",
+        "getParameter(", "q.getParameter('a'", "\"unterminated"}) {
+    EXPECT_THROW(webapp::AnalyzeServlet(junk, "A", "u"),
+                 webapp::AnalysisError)
+        << junk;
+  }
+}
+
+// ---------- MR cluster edge cases ----------
+
+TEST(Robustness, CrawlSurvivesInjectedTaskFailures) {
+  // The whole crawl pipeline on a flaky cluster: every task fails (and is
+  // re-executed) with probability 0.3, and the index is still identical.
+  db::Database db = dash::testing::MakeFoodDb();
+  sql::PsjQuery query = dash::testing::MakeSearchApp().query;
+  mr::ClusterConfig flaky;
+  flaky.block_size_bytes = 128;
+  flaky.task_failure_probability = 0.3;
+  flaky.fault_seed = 2012;
+  mr::Cluster cluster(flaky);
+  CrawlResult result = StepwiseCrawl(cluster, db, query);
+  EXPECT_GT(cluster.Totals().task_retries, 0u);
+
+  FragmentIndexBuild reference = Crawler(db, query).BuildIndex();
+  EXPECT_EQ(result.build.index.ToDebugString(result.build.catalog),
+            reference.index.ToDebugString(reference.catalog));
+}
+
+TEST(Robustness, CrawlOnClusterWithOneNodeAndTinyBlocks) {
+  db::Database db = dash::testing::MakeFoodDb();
+  sql::PsjQuery query = dash::testing::MakeSearchApp().query;
+  mr::ClusterConfig config;
+  config.num_nodes = 1;
+  config.block_size_bytes = 1;  // one record per map task
+  mr::Cluster cluster(config);
+  CrawlResult result = IntegratedCrawl(cluster, db, query);
+  EXPECT_EQ(result.build.catalog.size(), 5u);
+
+  FragmentIndexBuild reference = Crawler(db, query).BuildIndex();
+  EXPECT_EQ(result.build.index.ToDebugString(result.build.catalog),
+            reference.index.ToDebugString(reference.catalog));
+}
+
+}  // namespace
+}  // namespace dash::core

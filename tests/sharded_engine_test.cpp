@@ -1,0 +1,141 @@
+// Sharded serving tests: group-preserving partitioning, global-IDF
+// scoring, and agreement with the single-engine searcher.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/crawler.h"
+#include "core/sharded_engine.h"
+#include "sql/parser.h"
+#include "testing/fooddb.h"
+#include "tpch/tpch.h"
+
+namespace dash::core {
+namespace {
+
+FragmentIndexBuild BuildFor(const db::Database& db,
+                            const webapp::WebAppInfo& app) {
+  return Crawler(db, app.query).BuildIndex();
+}
+
+webapp::WebAppInfo TpchApp() {
+  webapp::WebAppInfo app;
+  app.name = "Q2";
+  app.uri = "example.com/q2";
+  app.query = sql::Parse(
+      "SELECT * FROM (customer JOIN orders) JOIN lineitem "
+      "WHERE customer.cid = $r AND qty BETWEEN $min AND $max");
+  app.codec =
+      webapp::QueryStringCodec({{"r", "r"}, {"l", "min"}, {"u", "max"}});
+  return app;
+}
+
+TEST(ShardedEngine, PartitioningPreservesFragmentsAndGroups) {
+  db::Database db = tpch::Generate(tpch::Scale::kTiny);
+  webapp::WebAppInfo app = TpchApp();
+  FragmentIndexBuild build = BuildFor(db, app);
+  std::size_t total = build.catalog.size();
+
+  ShardedEngine sharded(app, std::move(build), 4);
+  EXPECT_EQ(sharded.shard_count(), 4u);
+  EXPECT_EQ(sharded.fragment_count(), total);
+
+  // Group atomicity: each customer's fragments live in exactly one shard.
+  std::map<std::string, std::size_t> group_shard;
+  for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
+    const FragmentCatalog& catalog = sharded.shard(s).catalog();
+    for (std::size_t f = 0; f < catalog.size(); ++f) {
+      std::string eq = catalog.id(static_cast<FragmentHandle>(f))[0].ToString();
+      auto [it, inserted] = group_shard.emplace(eq, s);
+      EXPECT_EQ(it->second, s) << "customer " << eq << " split across shards";
+    }
+  }
+  // With 20 customers and 4 shards, the hash should actually spread them.
+  std::set<std::size_t> used_shards;
+  for (const auto& [eq, s] : group_shard) used_shards.insert(s);
+  EXPECT_GT(used_shards.size(), 1u);
+}
+
+TEST(ShardedEngine, AgreesWithSingleEngineOnFoodDb) {
+  db::Database db = dash::testing::MakeFoodDb();
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kReference;
+  DashEngine single = DashEngine::Build(db, app, options);
+  ShardedEngine sharded(app, BuildFor(db, app), 3);
+
+  for (const char* keyword : {"burger", "fries", "coffee", "wandy's"}) {
+    auto a = single.Search({keyword}, 5, 20);
+    auto b = sharded.Search({keyword}, 5, 20);
+    std::multiset<std::string> urls_a, urls_b;
+    for (const auto& r : a) urls_a.insert(r.url);
+    for (const auto& r : b) urls_b.insert(r.url);
+    EXPECT_EQ(urls_a, urls_b) << keyword;
+  }
+}
+
+TEST(ShardedEngine, AgreesWithSingleEngineOnTpch) {
+  db::Database db = tpch::Generate(tpch::Scale::kTiny);
+  webapp::WebAppInfo app = TpchApp();
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kReference;
+  DashEngine single = DashEngine::Build(db, app, options);
+  ShardedEngine sharded(app, BuildFor(db, app), 5);
+
+  auto by_df = single.index().KeywordsByDf();
+  for (const std::string& keyword :
+       {by_df.front().first, by_df[by_df.size() / 2].first}) {
+    auto a = single.Search({keyword}, 10, 100);
+    auto b = sharded.Search({keyword}, 10, 100);
+    ASSERT_EQ(a.size(), b.size()) << keyword;
+    // Same pages with the same globally-consistent scores.
+    std::multiset<std::string> urls_a, urls_b;
+    for (const auto& r : a) urls_a.insert(r.url);
+    for (const auto& r : b) urls_b.insert(r.url);
+    EXPECT_EQ(urls_a, urls_b) << keyword;
+  }
+}
+
+TEST(ShardedEngine, ScoresUseGlobalDf) {
+  db::Database db = dash::testing::MakeFoodDb();
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+  ShardedEngine sharded(app, BuildFor(db, app), 2);
+
+  // "burger" has global df 3. If a shard holding only one burger fragment
+  // scored with local df 1, its score would be 3x too high.
+  auto results = sharded.Search({"burger"}, 3, 1);
+  ASSERT_FALSE(results.empty());
+  // Best single-fragment page: (American,10), occ 2 of 8 words, idf 1/3.
+  EXPECT_DOUBLE_EQ(results[0].score, (2.0 / 8.0) / 3.0);
+}
+
+TEST(ShardedEngine, ResultsSortedByScore) {
+  db::Database db = tpch::Generate(tpch::Scale::kTiny);
+  webapp::WebAppInfo app = TpchApp();
+  ShardedEngine sharded(app, BuildFor(db, app), 4);
+  DashEngine probe = DashEngine::FromParts(app, BuildFor(db, app));
+  auto by_df = probe.index().KeywordsByDf();
+  auto results = sharded.Search({by_df.front().first}, 10, 50);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].score, results[i].score);
+  }
+}
+
+TEST(ShardedEngine, SingleShardDegenerate) {
+  db::Database db = dash::testing::MakeFoodDb();
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+  ShardedEngine sharded(app, BuildFor(db, app), 1);
+  EXPECT_EQ(sharded.shard_count(), 1u);
+  EXPECT_EQ(sharded.fragment_count(), 5u);
+  EXPECT_EQ(sharded.Search({"burger"}, 2, 20).size(), 2u);
+}
+
+TEST(ShardedEngine, InvalidShardCountRejected) {
+  db::Database db = dash::testing::MakeFoodDb();
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+  EXPECT_THROW(ShardedEngine(app, BuildFor(db, app), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dash::core

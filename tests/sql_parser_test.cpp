@@ -1,0 +1,160 @@
+// Tests for the PSJ SQL dialect parser and query AST analysis.
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace dash::sql {
+namespace {
+
+TEST(Parser, SelectStarSimple) {
+  PsjQuery q = Parse("SELECT * FROM r WHERE x = $p");
+  EXPECT_TRUE(q.projection.empty());
+  ASSERT_TRUE(q.from != nullptr);
+  EXPECT_EQ(q.from->relation, "r");
+  ASSERT_EQ(q.where.size(), 1u);
+  EXPECT_EQ(q.where[0].column, "x");
+  EXPECT_EQ(q.where[0].op, db::CompareOp::kEq);
+  EXPECT_EQ(q.where[0].parameter, "p");
+}
+
+TEST(Parser, ProjectionList) {
+  PsjQuery q = Parse("SELECT a, b, r.c FROM r WHERE a = $x");
+  ASSERT_EQ(q.projection.size(), 3u);
+  EXPECT_EQ(q.projection[2], "r.c");
+}
+
+TEST(Parser, BetweenDesugarsToRangePredicates) {
+  PsjQuery q = Parse("SELECT * FROM r WHERE b BETWEEN $lo AND $hi");
+  ASSERT_EQ(q.where.size(), 2u);
+  EXPECT_EQ(q.where[0].op, db::CompareOp::kGe);
+  EXPECT_EQ(q.where[0].parameter, "lo");
+  EXPECT_EQ(q.where[1].op, db::CompareOp::kLe);
+  EXPECT_EQ(q.where[1].parameter, "hi");
+}
+
+TEST(Parser, ComparisonOperators) {
+  PsjQuery q = Parse("SELECT * FROM r WHERE a >= $x AND b <= $y AND c = $z");
+  ASSERT_EQ(q.where.size(), 3u);
+  EXPECT_EQ(q.where[0].op, db::CompareOp::kGe);
+  EXPECT_EQ(q.where[1].op, db::CompareOp::kLe);
+  EXPECT_EQ(q.where[2].op, db::CompareOp::kEq);
+}
+
+TEST(Parser, JoinTreeLeftAssociative) {
+  PsjQuery q = Parse("SELECT * FROM a JOIN b JOIN c WHERE a.x = $p");
+  // ((a JOIN b) JOIN c)
+  ASSERT_FALSE(q.from->IsLeaf());
+  EXPECT_EQ(q.from->right->relation, "c");
+  ASSERT_FALSE(q.from->left->IsLeaf());
+  EXPECT_EQ(q.from->left->left->relation, "a");
+  EXPECT_EQ(q.from->left->right->relation, "b");
+  EXPECT_EQ(q.Relations(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Parser, ParenthesizedJoinTree) {
+  PsjQuery q =
+      Parse("SELECT * FROM (c JOIN o) JOIN (l JOIN p) WHERE c.id = $r");
+  ASSERT_FALSE(q.from->IsLeaf());
+  EXPECT_EQ(q.from->left->left->relation, "c");
+  EXPECT_EQ(q.from->right->left->relation, "l");
+  EXPECT_EQ(q.from->right->right->relation, "p");
+}
+
+TEST(Parser, LeftJoinKinds) {
+  PsjQuery q = Parse(
+      "SELECT * FROM r LEFT JOIN s LEFT OUTER JOIN t INNER JOIN u "
+      "WHERE r.a = $x");
+  // (((r LJ s) LJ t) J u)
+  EXPECT_EQ(q.from->kind, JoinKind::kInner);
+  EXPECT_EQ(q.from->left->kind, JoinKind::kLeftOuter);
+  EXPECT_EQ(q.from->left->left->kind, JoinKind::kLeftOuter);
+}
+
+TEST(Parser, ExplicitOnClause) {
+  PsjQuery q = Parse("SELECT * FROM r JOIN s ON r.id = s.rid WHERE r.a = $x");
+  EXPECT_EQ(q.from->on_left, "r.id");
+  EXPECT_EQ(q.from->on_right, "s.rid");
+}
+
+TEST(Parser, KeywordsAreCaseInsensitive) {
+  PsjQuery q = Parse("select * from r left join s where a between $l and $h");
+  EXPECT_EQ(q.from->kind, JoinKind::kLeftOuter);
+  EXPECT_EQ(q.where.size(), 2u);
+}
+
+TEST(Parser, ParenthesizedConditions) {
+  PsjQuery q = Parse(
+      "SELECT * FROM r WHERE (cuisine = $c) AND (budget BETWEEN $l AND $u)");
+  EXPECT_EQ(q.where.size(), 3u);
+}
+
+TEST(Parser, ErrorsAreReported) {
+  EXPECT_THROW(Parse(""), ParseError);
+  EXPECT_THROW(Parse("SELECT FROM r"), ParseError);
+  EXPECT_THROW(Parse("SELECT * FROM"), ParseError);
+  EXPECT_THROW(Parse("SELECT * FROM r WHERE"), ParseError);
+  EXPECT_THROW(Parse("SELECT * FROM r WHERE a = b"), ParseError);  // no $param
+  EXPECT_THROW(Parse("SELECT * FROM r WHERE a < $x"), ParseError);  // bad op
+  EXPECT_THROW(Parse("SELECT * FROM r WHERE a = $"), ParseError);
+  EXPECT_THROW(Parse("SELECT * FROM r WHERE a = $x garbage"), ParseError);
+  EXPECT_THROW(Parse("SELECT * FROM (r JOIN s WHERE a = $x"), ParseError);
+}
+
+TEST(Parser, ToStringRoundTripsThroughParse) {
+  PsjQuery q = Parse(
+      "SELECT name, budget FROM (restaurant LEFT JOIN comment) JOIN customer "
+      "WHERE cuisine = $c AND budget BETWEEN $l AND $u");
+  PsjQuery q2 = Parse(q.ToString());
+  EXPECT_EQ(q.ToString(), q2.ToString());
+  EXPECT_EQ(q.Relations(), q2.Relations());
+}
+
+// ---------- SelectionAttributes (fragment identifier layout) ----------
+
+TEST(SelectionAttributes, EqualityThenRangeCanonicalOrder) {
+  PsjQuery q = Parse(
+      "SELECT * FROM r WHERE budget BETWEEN $l AND $u AND cuisine = $c");
+  auto attrs = q.SelectionAttributes();
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0].column, "cuisine");  // equality first
+  EXPECT_FALSE(attrs[0].is_range);
+  EXPECT_EQ(attrs[0].eq_parameter, "c");
+  EXPECT_EQ(attrs[1].column, "budget");
+  EXPECT_TRUE(attrs[1].is_range);
+  EXPECT_EQ(attrs[1].min_parameter, "l");
+  EXPECT_EQ(attrs[1].max_parameter, "u");
+}
+
+TEST(SelectionAttributes, HalfOpenRange) {
+  PsjQuery q = Parse("SELECT * FROM r WHERE a = $x AND b >= $lo");
+  auto attrs = q.SelectionAttributes();
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_TRUE(attrs[1].is_range);
+  EXPECT_EQ(attrs[1].min_parameter, "lo");
+  EXPECT_TRUE(attrs[1].max_parameter.empty());
+}
+
+TEST(SelectionAttributes, MixedPredicatesOnSameAttributeRejected) {
+  EXPECT_THROW(
+      Parse("SELECT * FROM r WHERE a = $x AND a >= $y").SelectionAttributes(),
+      std::runtime_error);
+  EXPECT_THROW(
+      Parse("SELECT * FROM r WHERE a >= $y AND a = $x").SelectionAttributes(),
+      std::runtime_error);
+  EXPECT_THROW(
+      Parse("SELECT * FROM r WHERE a = $x AND a = $y").SelectionAttributes(),
+      std::runtime_error);
+  EXPECT_THROW(
+      Parse("SELECT * FROM r WHERE a >= $x AND a >= $y").SelectionAttributes(),
+      std::runtime_error);
+}
+
+TEST(SelectionAttributes, QueryCopyIsDeep) {
+  PsjQuery q = Parse("SELECT * FROM a JOIN b WHERE a.x = $p");
+  PsjQuery copy = q;
+  EXPECT_EQ(copy.ToString(), q.ToString());
+  EXPECT_NE(copy.from.get(), q.from.get());
+}
+
+}  // namespace
+}  // namespace dash::sql

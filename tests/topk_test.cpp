@@ -1,0 +1,217 @@
+// Top-k search tests: Example 7 reproduced end to end, Algorithm 1
+// behaviours (size threshold, k semantics, consumed seeds), URL
+// formulation, and scoring properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/dash_engine.h"
+#include "sql/parser.h"
+#include "testing/fooddb.h"
+#include "tpch/tpch.h"
+
+namespace dash::core {
+namespace {
+
+class TopKTest : public ::testing::Test {
+ protected:
+  TopKTest()
+      : db_(dash::testing::MakeFoodDb()),
+        engine_(DashEngine::Build(db_, dash::testing::MakeSearchApp(),
+                                  ReferenceBuild())) {}
+
+  static BuildOptions ReferenceBuild() {
+    BuildOptions options;
+    options.algorithm = CrawlAlgorithm::kReference;
+    return options;
+  }
+
+  db::Database db_;
+  DashEngine engine_;
+};
+
+TEST_F(TopKTest, Example7BurgerSearch) {
+  // k=2, s=20, keyword "burger" (paper Example 7).
+  auto results = engine_.Search({"burger"}, 2, 20);
+  ASSERT_EQ(results.size(), 2u);
+
+  // The two result db-pages are (American, [10,12]) and (Thai, [10,10]).
+  std::vector<std::string> urls = {results[0].url, results[1].url};
+  std::sort(urls.begin(), urls.end());
+  EXPECT_EQ(urls[0], "www.example.com/Search?c=American&l=10&u=12");
+  EXPECT_EQ(urls[1], "www.example.com/Search?c=Thai&l=10&u=10");
+}
+
+TEST_F(TopKTest, Example7Arithmetic) {
+  auto results = engine_.Search({"burger"}, 2, 20);
+  ASSERT_EQ(results.size(), 2u);
+  // Our queue pops the merged American page (TF 3/25) before Thai (1/10).
+  // IDF(burger) = 1/3 scales both.
+  EXPECT_EQ(results[0].size_words, 25u);
+  EXPECT_DOUBLE_EQ(results[0].score, (3.0 / 25.0) * (1.0 / 3.0));
+  EXPECT_EQ(results[1].size_words, 10u);
+  EXPECT_DOUBLE_EQ(results[1].score, (1.0 / 10.0) * (1.0 / 3.0));
+  // Params carry the reconstructed query string values.
+  EXPECT_EQ(results[0].params.at("cuisine"), "American");
+  EXPECT_EQ(results[0].params.at("min"), "10");
+  EXPECT_EQ(results[0].params.at("max"), "12");
+}
+
+TEST_F(TopKTest, ConsumedSeedIsNotReturnedSeparately) {
+  // (American,12) is absorbed into the merged page; with k=3 the remaining
+  // results must not include a bare (American,12) page.
+  auto results = engine_.Search({"burger"}, 3, 20);
+  for (const auto& r : results) {
+    EXPECT_NE(r.url, "www.example.com/Search?c=American&l=12&u=12");
+  }
+}
+
+TEST_F(TopKTest, SmallThresholdKeepsPagesSmall) {
+  // s=1: every seed is already large enough; no merging happens.
+  auto results = engine_.Search({"burger"}, 3, 1);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].url, "www.example.com/Search?c=American&l=10&u=10");
+  EXPECT_EQ(results[0].fragments.size(), 1u);
+  // Ranked by TF*IDF: 2/8 > 1/10 > 1/17.
+  EXPECT_EQ(results[1].url, "www.example.com/Search?c=Thai&l=10&u=10");
+  EXPECT_EQ(results[2].url, "www.example.com/Search?c=American&l=12&u=12");
+}
+
+TEST_F(TopKTest, LargeThresholdGrowsPagesAcrossGroup) {
+  // s larger than the whole American group (8+8+17+8=41 words): the
+  // American page absorbs the entire chain and stops only when no
+  // neighbors remain. The un-growable Thai page (no neighbors) surfaces
+  // first because each merge dilutes the American page's TF.
+  auto results = engine_.Search({"burger"}, 2, 1000);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].url, "www.example.com/Search?c=Thai&l=10&u=10");
+  EXPECT_EQ(results[1].url, "www.example.com/Search?c=American&l=9&u=18");
+  EXPECT_EQ(results[1].size_words, 41u);
+  EXPECT_EQ(results[1].fragments.size(), 4u);
+}
+
+TEST_F(TopKTest, KLimitsResults) {
+  EXPECT_EQ(engine_.Search({"burger"}, 1, 20).size(), 1u);
+  EXPECT_EQ(engine_.Search({"burger"}, 0, 20).size(), 0u);
+  // Only 3 relevant seeds exist; merging reduces distinct pages to 2.
+  EXPECT_EQ(engine_.Search({"burger"}, 10, 20).size(), 2u);
+}
+
+TEST_F(TopKTest, UnknownKeywordReturnsNothing) {
+  EXPECT_TRUE(engine_.Search({"pizza"}, 5, 20).empty());
+  EXPECT_TRUE(engine_.Search({}, 5, 20).empty());
+  EXPECT_TRUE(engine_.Search({"!!!"}, 5, 20).empty());
+}
+
+TEST_F(TopKTest, QueryIsTokenizedAndCaseNormalized) {
+  auto upper = engine_.Search({"BURGER"}, 2, 20);
+  auto lower = engine_.Search({"burger"}, 2, 20);
+  ASSERT_EQ(upper.size(), lower.size());
+  EXPECT_EQ(upper[0].url, lower[0].url);
+  // Multi-word input searches both keywords.
+  auto multi = engine_.Search({"burger experts"}, 1, 1);
+  ASSERT_FALSE(multi.empty());
+  EXPECT_EQ(multi[0].url, "www.example.com/Search?c=American&l=10&u=10");
+}
+
+TEST_F(TopKTest, MultiKeywordScoresSumPerKeyword) {
+  // "coffee" appears only in (American,9); "burger" favors (American,10).
+  auto results = engine_.Search({"coffee", "burger"}, 1, 1);
+  ASSERT_EQ(results.size(), 1u);
+  // (American,9): coffee idf 1 * 1/8 = 0.125 beats burger's 1/3 * 2/8.
+  EXPECT_EQ(results[0].url, "www.example.com/Search?c=American&l=9&u=9");
+}
+
+TEST_F(TopKTest, ResultPagesAreContiguousIntervals) {
+  for (const auto& r : engine_.Search({"burger"}, 5, 30)) {
+    for (std::size_t i = 1; i < r.fragments.size(); ++i) {
+      EXPECT_EQ(r.fragments[i], r.fragments[i - 1] + 1)
+          << "pages over one range attribute are contiguous chains";
+    }
+  }
+}
+
+TEST_F(TopKTest, ResultFragmentsDisjointAcrossResults) {
+  auto results = engine_.Search({"burger"}, 5, 20);
+  std::set<FragmentHandle> seen;
+  for (const auto& r : results) {
+    for (FragmentHandle f : r.fragments) {
+      EXPECT_TRUE(seen.insert(f).second)
+          << "shared fragment => overlapped content in the result list";
+    }
+  }
+}
+
+// ---------- TPC-H workload sanity ----------
+
+class TpchTopKTest : public ::testing::Test {
+ protected:
+  static DashEngine BuildEngine() {
+    db::Database db = tpch::Generate(tpch::Scale::kTiny);
+    webapp::WebAppInfo app;
+    app.name = "Q2";
+    app.uri = "example.com/q2";
+    app.query = sql::Parse(
+        "SELECT * FROM (customer JOIN orders) JOIN lineitem "
+        "WHERE customer.cid = $r AND qty BETWEEN $min AND $max");
+    app.codec = webapp::QueryStringCodec(
+        {{"r", "r"}, {"l", "min"}, {"u", "max"}});
+    BuildOptions options;
+    options.algorithm = CrawlAlgorithm::kReference;
+    return DashEngine::Build(db, app, options);
+  }
+};
+
+TEST_F(TpchTopKTest, HotKeywordSearchesScaleWithK) {
+  DashEngine engine = BuildEngine();
+  auto by_df = engine.index().KeywordsByDf();
+  ASSERT_FALSE(by_df.empty());
+  const std::string hot = by_df.front().first;
+  auto k1 = engine.Search({hot}, 1, 100);
+  auto k10 = engine.Search({hot}, 10, 100);
+  EXPECT_EQ(k1.size(), 1u);
+  EXPECT_GE(k10.size(), k1.size());
+  EXPECT_LE(k10.size(), 10u);
+  // Results come back in pop order with valid URLs.
+  for (const auto& r : k10) {
+    EXPECT_NE(r.url.find("example.com/q2?r="), std::string::npos);
+    EXPECT_GT(r.size_words, 0u);
+  }
+}
+
+TEST_F(TpchTopKTest, SizeThresholdGrowsPages) {
+  DashEngine engine = BuildEngine();
+  auto by_df = engine.index().KeywordsByDf();
+  const std::string hot = by_df.front().first;
+  auto small_s = engine.Search({hot}, 5, 10);
+  auto large_s = engine.Search({hot}, 5, 500);
+  ASSERT_FALSE(small_s.empty());
+  ASSERT_FALSE(large_s.empty());
+  double avg_small = 0, avg_large = 0;
+  for (const auto& r : small_s) avg_small += static_cast<double>(r.size_words);
+  for (const auto& r : large_s) avg_large += static_cast<double>(r.size_words);
+  avg_small /= static_cast<double>(small_s.size());
+  avg_large /= static_cast<double>(large_s.size());
+  EXPECT_GT(avg_large, avg_small);
+}
+
+TEST_F(TpchTopKTest, PageMeetsThresholdWhenGroupAllows) {
+  DashEngine engine = BuildEngine();
+  auto by_df = engine.index().KeywordsByDf();
+  const std::string hot = by_df.front().first;
+  const std::uint64_t s = 200;
+  for (const auto& r : engine.Search({hot}, 5, s)) {
+    if (r.size_words < s) {
+      // Undersized results are only legal when the whole equality group is
+      // exhausted (no neighbors left to absorb).
+      auto group = engine.graph().GroupOf(r.fragments.front());
+      auto [first, last] = engine.graph().GroupSpan(group);
+      EXPECT_EQ(r.fragments.size(),
+                static_cast<std::size_t>(last - first + 1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dash::core

@@ -1,0 +1,129 @@
+// Tests for the TPC-H-style dataset generator: schema shape, referential
+// integrity, determinism, scale ratios and DF skew.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "db/ops.h"
+#include "tpch/tpch.h"
+#include "util/tokenizer.h"
+
+namespace dash::tpch {
+namespace {
+
+TEST(Tpch, SchemaAndFixedRelations) {
+  db::Database db = Generate(Scale::kTiny);
+  EXPECT_EQ(db.table("region").row_count(), 5u);
+  EXPECT_EQ(db.table("nation").row_count(), 25u);
+  EXPECT_EQ(db.table("region").schema().size(), 3u);
+  EXPECT_EQ(db.table("lineitem").schema().size(), 8u);
+  EXPECT_EQ(db.foreign_keys().size(), 5u);
+}
+
+TEST(Tpch, RowCountsScaleWithSpec) {
+  db::Database db = Generate(Scale::kTiny);
+  ScaleSpec spec = SpecFor(Scale::kTiny);
+  EXPECT_EQ(db.table("customer").row_count(),
+            static_cast<std::size_t>(spec.customers));
+  EXPECT_EQ(db.table("part").row_count(), static_cast<std::size_t>(spec.parts));
+  // Orders average spec.orders_per_customer per customer.
+  std::size_t orders = db.table("orders").row_count();
+  EXPECT_GT(orders, static_cast<std::size_t>(spec.customers));
+  EXPECT_LT(orders, static_cast<std::size_t>(2 * spec.customers *
+                                             spec.orders_per_customer));
+}
+
+TEST(Tpch, ScaleRatiosMirrorTableII) {
+  auto small = SpecFor(Scale::kSmall);
+  auto medium = SpecFor(Scale::kMedium);
+  auto large = SpecFor(Scale::kLarge);
+  EXPECT_EQ(medium.customers, 5 * small.customers);
+  EXPECT_EQ(large.customers, 10 * small.customers);
+}
+
+TEST(Tpch, GenerationIsDeterministic) {
+  db::Database a = Generate(Scale::kTiny, 42);
+  db::Database b = Generate(Scale::kTiny, 42);
+  EXPECT_EQ(a.table("customer").rows(), b.table("customer").rows());
+  EXPECT_EQ(a.table("lineitem").rows(), b.table("lineitem").rows());
+}
+
+TEST(Tpch, DifferentSeedsDiffer) {
+  db::Database a = Generate(Scale::kTiny, 1);
+  db::Database b = Generate(Scale::kTiny, 2);
+  EXPECT_NE(a.table("customer").rows(), b.table("customer").rows());
+}
+
+TEST(Tpch, ReferentialIntegrity) {
+  db::Database db = Generate(Scale::kTiny);
+  for (const db::ForeignKey& fk : db.foreign_keys()) {
+    const db::Table& from = db.table(fk.from_table);
+    const db::Table& to = db.table(fk.to_table);
+    int fc = from.schema().IndexOf(fk.from_column);
+    int tc = to.schema().IndexOf(fk.to_column);
+    std::unordered_set<std::int64_t> keys;
+    for (const db::Row& row : to.rows()) {
+      keys.insert(row[static_cast<std::size_t>(tc)].AsInt());
+    }
+    for (const db::Row& row : from.rows()) {
+      EXPECT_TRUE(keys.contains(row[static_cast<std::size_t>(fc)].AsInt()))
+          << fk.from_table << "." << fk.from_column << " dangling";
+    }
+  }
+}
+
+TEST(Tpch, PrimaryKeysAreUnique) {
+  db::Database db = Generate(Scale::kTiny);
+  for (const auto& [table, pk] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"customer", "cid"}, {"orders", "oid"}, {"lineitem", "lid"},
+           {"part", "pid"}, {"region", "rid"}, {"nation", "nid"}}) {
+    const db::Table& t = db.table(table);
+    int c = t.schema().IndexOf(pk);
+    std::unordered_set<std::int64_t> seen;
+    for (const db::Row& row : t.rows()) {
+      EXPECT_TRUE(seen.insert(row[static_cast<std::size_t>(c)].AsInt()).second)
+          << table << "." << pk << " duplicated";
+    }
+  }
+}
+
+TEST(Tpch, QuantitiesInTpchDomain) {
+  db::Database db = Generate(Scale::kTiny);
+  const db::Table& l = db.table("lineitem");
+  int qty = l.schema().IndexOf("qty");
+  for (const db::Row& row : l.rows()) {
+    std::int64_t v = row[static_cast<std::size_t>(qty)].AsInt();
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 50);
+  }
+}
+
+TEST(Tpch, CommentVocabularyIsSkewed) {
+  // Zipf text: the most frequent word must dominate the tail, giving the
+  // DF spread the cold/warm/hot keyword buckets need.
+  db::Database db = Generate(Scale::kSmall);
+  util::TokenCounter counter;
+  const db::Table& o = db.table("orders");
+  int c = o.schema().IndexOf("orders.comment");
+  for (const db::Row& row : o.rows()) {
+    counter.Add(row[static_cast<std::size_t>(c)].AsString());
+  }
+  std::size_t max_count = 0, singletons = 0;
+  for (const auto& [word, n] : counter.counts()) {
+    max_count = std::max(max_count, n);
+    if (n == 1) ++singletons;
+  }
+  EXPECT_GT(max_count, 100u);   // hot head
+  EXPECT_GT(singletons, 50u);   // cold tail
+}
+
+TEST(Tpch, PayloadGrowsWithScale) {
+  db::Database tiny = Generate(Scale::kTiny);
+  db::Database small = Generate(Scale::kSmall);
+  EXPECT_GT(small.table("lineitem").PayloadBytes(),
+            tiny.table("lineitem").PayloadBytes());
+}
+
+}  // namespace
+}  // namespace dash::tpch

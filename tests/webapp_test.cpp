@@ -1,0 +1,214 @@
+// Tests for query-string parsing / reverse parsing and the servlet
+// analyzer (paper Section III, Figure 3).
+#include <gtest/gtest.h>
+
+#include "testing/fooddb.h"
+#include "webapp/query_string.h"
+#include "webapp/servlet_analyzer.h"
+
+namespace dash::webapp {
+namespace {
+
+QueryStringCodec SearchCodec() {
+  return QueryStringCodec({{"c", "cuisine"}, {"l", "min"}, {"u", "max"}});
+}
+
+TEST(QueryStringCodec, ParsesExample1) {
+  auto params = SearchCodec().Parse("c=American&l=10&u=15");
+  EXPECT_EQ(params.at("cuisine"), "American");
+  EXPECT_EQ(params.at("min"), "10");
+  EXPECT_EQ(params.at("max"), "15");
+}
+
+TEST(QueryStringCodec, RendersInBindingOrder) {
+  std::map<std::string, std::string> params = {
+      {"cuisine", "American"}, {"min", "10"}, {"max", "12"}};
+  EXPECT_EQ(SearchCodec().Render(params), "c=American&l=10&u=12");
+}
+
+TEST(QueryStringCodec, RoundTrip) {
+  std::map<std::string, std::string> params = {
+      {"cuisine", "Middle East"}, {"min", "9"}, {"max", "20"}};
+  QueryStringCodec codec = SearchCodec();
+  EXPECT_EQ(codec.Parse(codec.Render(params)), params);
+}
+
+TEST(QueryStringCodec, ValuesAreUrlEncoded) {
+  std::map<std::string, std::string> params = {
+      {"cuisine", "a&b=c"}, {"min", "1"}, {"max", "2"}};
+  QueryStringCodec codec = SearchCodec();
+  std::string qs = codec.Render(params);
+  EXPECT_EQ(qs.find("a&b"), std::string::npos);  // escaped
+  EXPECT_EQ(codec.Parse(qs), params);
+}
+
+TEST(QueryStringCodec, UnknownFieldsIgnored) {
+  auto params = SearchCodec().Parse("c=Thai&tracking=xyz&l=1&u=2");
+  EXPECT_EQ(params.size(), 3u);
+}
+
+TEST(QueryStringCodec, MissingParameterThrowsOnRender) {
+  EXPECT_THROW(SearchCodec().Render({{"cuisine", "Thai"}}),
+               std::runtime_error);
+}
+
+TEST(QueryStringCodec, DuplicateFieldThrowsOnParse) {
+  EXPECT_THROW(SearchCodec().Parse("c=a&c=b&l=1&u=2"), std::runtime_error);
+}
+
+TEST(QueryStringCodec, DuplicateBindingRejected) {
+  EXPECT_THROW(QueryStringCodec({{"c", "x"}, {"c", "y"}}), std::runtime_error);
+  EXPECT_THROW(QueryStringCodec({{"a", "x"}, {"b", "x"}}), std::runtime_error);
+}
+
+TEST(WebAppInfo, UrlForAppendsQueryString) {
+  WebAppInfo app = dash::testing::MakeSearchApp();
+  std::string url = app.UrlFor(
+      {{"cuisine", "American"}, {"min", "10"}, {"max", "15"}});
+  EXPECT_EQ(url, "www.example.com/Search?c=American&l=10&u=15");
+}
+
+// ---------- Servlet analysis (reverse engineering, Example 2) ----------
+
+TEST(ServletAnalyzer, RecoversFigure3Search) {
+  WebAppInfo app = AnalyzeServlet(ExampleSearchServletSource(), "Search",
+                                  "www.example.com/Search");
+  // Bindings c->cuisine, l->min, u->max in source order.
+  ASSERT_EQ(app.codec.bindings().size(), 3u);
+  EXPECT_EQ(app.codec.bindings()[0].url_field, "c");
+  EXPECT_EQ(app.codec.bindings()[0].parameter, "cuisine");
+  EXPECT_EQ(app.codec.bindings()[1].url_field, "l");
+  EXPECT_EQ(app.codec.bindings()[1].parameter, "min");
+  EXPECT_EQ(app.codec.bindings()[2].url_field, "u");
+  EXPECT_EQ(app.codec.bindings()[2].parameter, "max");
+
+  // The PSJ query: projection, join tree, predicates.
+  EXPECT_EQ(app.query.projection,
+            (std::vector<std::string>{"name", "budget", "rate", "comment",
+                                      "uname", "date"}));
+  EXPECT_EQ(app.query.Relations(),
+            (std::vector<std::string>{"restaurant", "comment", "customer"}));
+  ASSERT_EQ(app.query.where.size(), 3u);
+  EXPECT_EQ(app.query.where[0].column, "cuisine");
+  EXPECT_EQ(app.query.where[0].parameter, "cuisine");
+  EXPECT_EQ(app.query.where[1].parameter, "min");
+  EXPECT_EQ(app.query.where[2].parameter, "max");
+}
+
+TEST(ServletAnalyzer, DoubleQuotedJavaSource) {
+  constexpr std::string_view source = R"(
+    String region = req.getParameter("r");
+    String lo = req.getParameter("lo");
+    String hi = req.getParameter("hi");
+    String q = "SELECT * FROM region JOIN nation WHERE rid = " + region +
+               " AND nid BETWEEN " + lo + " AND " + hi;
+  )";
+  WebAppInfo app = AnalyzeServlet(source, "App", "example.com/App");
+  EXPECT_EQ(app.query.Relations(),
+            (std::vector<std::string>{"region", "nation"}));
+  EXPECT_EQ(app.codec.bindings().size(), 3u);
+}
+
+TEST(ServletAnalyzer, UnusedParameterIsDroppedFromBindings) {
+  constexpr std::string_view source = R"(
+    String used = req.getParameter("a");
+    String unused = req.getParameter("b");
+    String q = "SELECT * FROM r WHERE x = " + used;
+  )";
+  WebAppInfo app = AnalyzeServlet(source, "App", "example.com/App");
+  ASSERT_EQ(app.codec.bindings().size(), 1u);
+  EXPECT_EQ(app.codec.bindings()[0].url_field, "a");
+}
+
+TEST(ServletAnalyzer, DoPostServletAnalyzesTheSame) {
+  // Paper footnote 1: POST applications parse the same parameters from the
+  // request body; the static analysis is method-agnostic.
+  constexpr std::string_view source = R"(
+    public class Search extends HttpServlet {
+      public void doPost(HttpServletRequest q, HttpServletResponse p) {
+        String cuisine = q.getParameter("c");
+        String min = q.getParameter("l");
+        String max = q.getParameter("u");
+        String Q = "SELECT name, budget FROM restaurant WHERE cuisine = "
+                   + cuisine + " AND budget BETWEEN " + min + " AND " + max;
+        output(p, db.run(Q));
+      }
+    }
+  )";
+  WebAppInfo app = AnalyzeServlet(source, "Search", "www.example.com/Search");
+  EXPECT_EQ(app.codec.bindings().size(), 3u);
+  EXPECT_EQ(app.query.Relations(), (std::vector<std::string>{"restaurant"}));
+  ASSERT_EQ(app.query.where.size(), 3u);
+}
+
+TEST(ServletAnalyzer, CommentsAreIgnored) {
+  constexpr std::string_view source = R"(
+    // String old = req.getParameter("legacy");
+    /* String dead = req.getParameter("dead");
+       String q0 = "SELECT * FROM wrong WHERE a = " + dead; */
+    String live = req.getParameter("x");  // the real one
+    String q = "SELECT * FROM r WHERE col = " + live;
+  )";
+  WebAppInfo app = AnalyzeServlet(source, "App", "example.com/App");
+  ASSERT_EQ(app.codec.bindings().size(), 1u);
+  EXPECT_EQ(app.codec.bindings()[0].url_field, "x");
+  EXPECT_EQ(app.query.Relations(), (std::vector<std::string>{"r"}));
+}
+
+TEST(ServletAnalyzer, CommentMarkersInsideStringLiteralsAreNotComments) {
+  // A "/*" inside a string literal must not open a comment (which would
+  // blank the SQL assignment that follows).
+  constexpr std::string_view source = R"(
+    String v = req.getParameter("a");
+    String note = "see /* the manual */ first";
+    String q = "SELECT * FROM r WHERE x = " + v;  // trailing note
+  )";
+  WebAppInfo app = AnalyzeServlet(source, "App", "example.com/App");
+  EXPECT_EQ(app.query.Relations(), (std::vector<std::string>{"r"}));
+  ASSERT_EQ(app.query.where.size(), 1u);
+  EXPECT_EQ(app.query.where[0].parameter, "v");
+}
+
+TEST(ServletAnalyzer, NoGetParameterFails) {
+  EXPECT_THROW(AnalyzeServlet("String q = \"SELECT * FROM r\";", "A", "u"),
+               AnalysisError);
+}
+
+TEST(ServletAnalyzer, NoSqlFails) {
+  EXPECT_THROW(
+      AnalyzeServlet("String x = req.getParameter(\"a\");", "A", "u"),
+      AnalysisError);
+}
+
+TEST(ServletAnalyzer, DynamicFieldNameFails) {
+  EXPECT_THROW(
+      AnalyzeServlet("String x = req.getParameter(fieldVar);", "A", "u"),
+      AnalysisError);
+}
+
+TEST(ServletAnalyzer, ParameterNotFlowingIntoSqlFails) {
+  constexpr std::string_view source = R"(
+    String x = req.getParameter("a");
+    String q = "SELECT * FROM r WHERE y = " + other;
+  )";
+  EXPECT_THROW(AnalyzeServlet(source, "A", "u"), AnalysisError);
+}
+
+TEST(ServletAnalyzer, AnalysisMatchesHandWrittenFixture) {
+  // The analyzed Figure-3 servlet and the hand-built fixture must agree on
+  // everything except the join re-association documented in fooddb.h.
+  WebAppInfo analyzed = AnalyzeServlet(ExampleSearchServletSource(), "Search",
+                                       "www.example.com/Search");
+  WebAppInfo fixture = dash::testing::MakeSearchApp();
+  EXPECT_EQ(analyzed.query.projection, fixture.query.projection);
+  ASSERT_EQ(analyzed.codec.bindings().size(), fixture.codec.bindings().size());
+  for (std::size_t i = 0; i < fixture.codec.bindings().size(); ++i) {
+    EXPECT_EQ(analyzed.codec.bindings()[i].url_field,
+              fixture.codec.bindings()[i].url_field);
+    EXPECT_EQ(analyzed.codec.bindings()[i].parameter,
+              fixture.codec.bindings()[i].parameter);
+  }
+}
+
+}  // namespace
+}  // namespace dash::webapp
