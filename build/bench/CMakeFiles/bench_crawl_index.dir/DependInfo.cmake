@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_crawl_index.cpp" "bench/CMakeFiles/bench_crawl_index.dir/bench_crawl_index.cpp.o" "gcc" "bench/CMakeFiles/bench_crawl_index.dir/bench_crawl_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dash_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/dash_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/testing/CMakeFiles/dash_fixtures.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/dash_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/webapp/CMakeFiles/dash_webapp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dash_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/dash_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

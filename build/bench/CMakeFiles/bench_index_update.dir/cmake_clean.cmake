@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_update.dir/bench_index_update.cpp.o"
+  "CMakeFiles/bench_index_update.dir/bench_index_update.cpp.o.d"
+  "bench_index_update"
+  "bench_index_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reduce_tasks.dir/bench_reduce_tasks.cpp.o"
+  "CMakeFiles/bench_reduce_tasks.dir/bench_reduce_tasks.cpp.o.d"
+  "bench_reduce_tasks"
+  "bench_reduce_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reduce_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

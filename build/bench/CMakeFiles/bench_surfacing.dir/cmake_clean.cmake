@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_surfacing.dir/bench_surfacing.cpp.o"
+  "CMakeFiles/bench_surfacing.dir/bench_surfacing.cpp.o.d"
+  "bench_surfacing"
+  "bench_surfacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_surfacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topk_search.dir/bench_topk_search.cpp.o"
+  "CMakeFiles/bench_topk_search.dir/bench_topk_search.cpp.o.d"
+  "bench_topk_search"
+  "bench_topk_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topk_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookstore_search.dir/bookstore_search.cpp.o"
+  "CMakeFiles/bookstore_search.dir/bookstore_search.cpp.o.d"
+  "bookstore_search"
+  "bookstore_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookstore_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

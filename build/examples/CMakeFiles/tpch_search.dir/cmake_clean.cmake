@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_search.dir/tpch_search.cpp.o"
+  "CMakeFiles/tpch_search.dir/tpch_search.cpp.o.d"
+  "tpch_search"
+  "tpch_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

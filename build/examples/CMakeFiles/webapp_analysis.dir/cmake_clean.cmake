@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webapp_analysis.dir/webapp_analysis.cpp.o"
+  "CMakeFiles/webapp_analysis.dir/webapp_analysis.cpp.o.d"
+  "webapp_analysis"
+  "webapp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webapp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

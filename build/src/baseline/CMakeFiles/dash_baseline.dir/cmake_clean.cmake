@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_baseline.dir/page_engine.cc.o"
+  "CMakeFiles/dash_baseline.dir/page_engine.cc.o.d"
+  "CMakeFiles/dash_baseline.dir/rdb_keyword_search.cc.o"
+  "CMakeFiles/dash_baseline.dir/rdb_keyword_search.cc.o.d"
+  "CMakeFiles/dash_baseline.dir/surfacing.cc.o"
+  "CMakeFiles/dash_baseline.dir/surfacing.cc.o.d"
+  "libdash_baseline.a"
+  "libdash_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/crawler.cc" "src/core/CMakeFiles/dash_core.dir/crawler.cc.o" "gcc" "src/core/CMakeFiles/dash_core.dir/crawler.cc.o.d"
+  "/root/repo/src/core/dash_engine.cc" "src/core/CMakeFiles/dash_core.dir/dash_engine.cc.o" "gcc" "src/core/CMakeFiles/dash_core.dir/dash_engine.cc.o.d"
+  "/root/repo/src/core/fragment.cc" "src/core/CMakeFiles/dash_core.dir/fragment.cc.o" "gcc" "src/core/CMakeFiles/dash_core.dir/fragment.cc.o.d"
+  "/root/repo/src/core/fragment_graph.cc" "src/core/CMakeFiles/dash_core.dir/fragment_graph.cc.o" "gcc" "src/core/CMakeFiles/dash_core.dir/fragment_graph.cc.o.d"
+  "/root/repo/src/core/index_io.cc" "src/core/CMakeFiles/dash_core.dir/index_io.cc.o" "gcc" "src/core/CMakeFiles/dash_core.dir/index_io.cc.o.d"
+  "/root/repo/src/core/index_update.cc" "src/core/CMakeFiles/dash_core.dir/index_update.cc.o" "gcc" "src/core/CMakeFiles/dash_core.dir/index_update.cc.o.d"
+  "/root/repo/src/core/inverted_index.cc" "src/core/CMakeFiles/dash_core.dir/inverted_index.cc.o" "gcc" "src/core/CMakeFiles/dash_core.dir/inverted_index.cc.o.d"
+  "/root/repo/src/core/mr_common.cc" "src/core/CMakeFiles/dash_core.dir/mr_common.cc.o" "gcc" "src/core/CMakeFiles/dash_core.dir/mr_common.cc.o.d"
+  "/root/repo/src/core/mr_integrated.cc" "src/core/CMakeFiles/dash_core.dir/mr_integrated.cc.o" "gcc" "src/core/CMakeFiles/dash_core.dir/mr_integrated.cc.o.d"
+  "/root/repo/src/core/mr_stepwise.cc" "src/core/CMakeFiles/dash_core.dir/mr_stepwise.cc.o" "gcc" "src/core/CMakeFiles/dash_core.dir/mr_stepwise.cc.o.d"
+  "/root/repo/src/core/multi_app.cc" "src/core/CMakeFiles/dash_core.dir/multi_app.cc.o" "gcc" "src/core/CMakeFiles/dash_core.dir/multi_app.cc.o.d"
+  "/root/repo/src/core/pruning.cc" "src/core/CMakeFiles/dash_core.dir/pruning.cc.o" "gcc" "src/core/CMakeFiles/dash_core.dir/pruning.cc.o.d"
+  "/root/repo/src/core/result_cache.cc" "src/core/CMakeFiles/dash_core.dir/result_cache.cc.o" "gcc" "src/core/CMakeFiles/dash_core.dir/result_cache.cc.o.d"
+  "/root/repo/src/core/sharded_engine.cc" "src/core/CMakeFiles/dash_core.dir/sharded_engine.cc.o" "gcc" "src/core/CMakeFiles/dash_core.dir/sharded_engine.cc.o.d"
+  "/root/repo/src/core/topk_search.cc" "src/core/CMakeFiles/dash_core.dir/topk_search.cc.o" "gcc" "src/core/CMakeFiles/dash_core.dir/topk_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/dash_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dash_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/dash_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/webapp/CMakeFiles/dash_webapp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

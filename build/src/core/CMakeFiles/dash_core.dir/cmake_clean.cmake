@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_core.dir/crawler.cc.o"
+  "CMakeFiles/dash_core.dir/crawler.cc.o.d"
+  "CMakeFiles/dash_core.dir/dash_engine.cc.o"
+  "CMakeFiles/dash_core.dir/dash_engine.cc.o.d"
+  "CMakeFiles/dash_core.dir/fragment.cc.o"
+  "CMakeFiles/dash_core.dir/fragment.cc.o.d"
+  "CMakeFiles/dash_core.dir/fragment_graph.cc.o"
+  "CMakeFiles/dash_core.dir/fragment_graph.cc.o.d"
+  "CMakeFiles/dash_core.dir/index_io.cc.o"
+  "CMakeFiles/dash_core.dir/index_io.cc.o.d"
+  "CMakeFiles/dash_core.dir/index_update.cc.o"
+  "CMakeFiles/dash_core.dir/index_update.cc.o.d"
+  "CMakeFiles/dash_core.dir/inverted_index.cc.o"
+  "CMakeFiles/dash_core.dir/inverted_index.cc.o.d"
+  "CMakeFiles/dash_core.dir/mr_common.cc.o"
+  "CMakeFiles/dash_core.dir/mr_common.cc.o.d"
+  "CMakeFiles/dash_core.dir/mr_integrated.cc.o"
+  "CMakeFiles/dash_core.dir/mr_integrated.cc.o.d"
+  "CMakeFiles/dash_core.dir/mr_stepwise.cc.o"
+  "CMakeFiles/dash_core.dir/mr_stepwise.cc.o.d"
+  "CMakeFiles/dash_core.dir/multi_app.cc.o"
+  "CMakeFiles/dash_core.dir/multi_app.cc.o.d"
+  "CMakeFiles/dash_core.dir/pruning.cc.o"
+  "CMakeFiles/dash_core.dir/pruning.cc.o.d"
+  "CMakeFiles/dash_core.dir/result_cache.cc.o"
+  "CMakeFiles/dash_core.dir/result_cache.cc.o.d"
+  "CMakeFiles/dash_core.dir/sharded_engine.cc.o"
+  "CMakeFiles/dash_core.dir/sharded_engine.cc.o.d"
+  "CMakeFiles/dash_core.dir/topk_search.cc.o"
+  "CMakeFiles/dash_core.dir/topk_search.cc.o.d"
+  "libdash_core.a"
+  "libdash_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/csv_io.cc" "src/db/CMakeFiles/dash_db.dir/csv_io.cc.o" "gcc" "src/db/CMakeFiles/dash_db.dir/csv_io.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/db/CMakeFiles/dash_db.dir/database.cc.o" "gcc" "src/db/CMakeFiles/dash_db.dir/database.cc.o.d"
+  "/root/repo/src/db/ops.cc" "src/db/CMakeFiles/dash_db.dir/ops.cc.o" "gcc" "src/db/CMakeFiles/dash_db.dir/ops.cc.o.d"
+  "/root/repo/src/db/schema.cc" "src/db/CMakeFiles/dash_db.dir/schema.cc.o" "gcc" "src/db/CMakeFiles/dash_db.dir/schema.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/db/CMakeFiles/dash_db.dir/table.cc.o" "gcc" "src/db/CMakeFiles/dash_db.dir/table.cc.o.d"
+  "/root/repo/src/db/value.cc" "src/db/CMakeFiles/dash_db.dir/value.cc.o" "gcc" "src/db/CMakeFiles/dash_db.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

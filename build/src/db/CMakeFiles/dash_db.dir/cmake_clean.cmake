@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_db.dir/csv_io.cc.o"
+  "CMakeFiles/dash_db.dir/csv_io.cc.o.d"
+  "CMakeFiles/dash_db.dir/database.cc.o"
+  "CMakeFiles/dash_db.dir/database.cc.o.d"
+  "CMakeFiles/dash_db.dir/ops.cc.o"
+  "CMakeFiles/dash_db.dir/ops.cc.o.d"
+  "CMakeFiles/dash_db.dir/schema.cc.o"
+  "CMakeFiles/dash_db.dir/schema.cc.o.d"
+  "CMakeFiles/dash_db.dir/table.cc.o"
+  "CMakeFiles/dash_db.dir/table.cc.o.d"
+  "CMakeFiles/dash_db.dir/value.cc.o"
+  "CMakeFiles/dash_db.dir/value.cc.o.d"
+  "libdash_db.a"
+  "libdash_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_mr.dir/cluster.cc.o"
+  "CMakeFiles/dash_mr.dir/cluster.cc.o.d"
+  "CMakeFiles/dash_mr.dir/metrics.cc.o"
+  "CMakeFiles/dash_mr.dir/metrics.cc.o.d"
+  "libdash_mr.a"
+  "libdash_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

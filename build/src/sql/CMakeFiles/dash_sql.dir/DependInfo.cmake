@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/eval.cc" "src/sql/CMakeFiles/dash_sql.dir/eval.cc.o" "gcc" "src/sql/CMakeFiles/dash_sql.dir/eval.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/dash_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/dash_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/psj_query.cc" "src/sql/CMakeFiles/dash_sql.dir/psj_query.cc.o" "gcc" "src/sql/CMakeFiles/dash_sql.dir/psj_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/dash_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_sql.dir/eval.cc.o"
+  "CMakeFiles/dash_sql.dir/eval.cc.o.d"
+  "CMakeFiles/dash_sql.dir/parser.cc.o"
+  "CMakeFiles/dash_sql.dir/parser.cc.o.d"
+  "CMakeFiles/dash_sql.dir/psj_query.cc.o"
+  "CMakeFiles/dash_sql.dir/psj_query.cc.o.d"
+  "libdash_sql.a"
+  "libdash_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testing/fooddb.cc" "src/testing/CMakeFiles/dash_fixtures.dir/fooddb.cc.o" "gcc" "src/testing/CMakeFiles/dash_fixtures.dir/fooddb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/dash_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/webapp/CMakeFiles/dash_webapp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dash_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_fixtures.dir/fooddb.cc.o"
+  "CMakeFiles/dash_fixtures.dir/fooddb.cc.o.d"
+  "libdash_fixtures.a"
+  "libdash_fixtures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_fixtures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_tpch.dir/tpch.cc.o"
+  "CMakeFiles/dash_tpch.dir/tpch.cc.o.d"
+  "libdash_tpch.a"
+  "libdash_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_util.dir/csv.cc.o"
+  "CMakeFiles/dash_util.dir/csv.cc.o.d"
+  "CMakeFiles/dash_util.dir/logging.cc.o"
+  "CMakeFiles/dash_util.dir/logging.cc.o.d"
+  "CMakeFiles/dash_util.dir/string_util.cc.o"
+  "CMakeFiles/dash_util.dir/string_util.cc.o.d"
+  "CMakeFiles/dash_util.dir/tokenizer.cc.o"
+  "CMakeFiles/dash_util.dir/tokenizer.cc.o.d"
+  "libdash_util.a"
+  "libdash_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/webapp/app_runtime.cc" "src/webapp/CMakeFiles/dash_webapp.dir/app_runtime.cc.o" "gcc" "src/webapp/CMakeFiles/dash_webapp.dir/app_runtime.cc.o.d"
+  "/root/repo/src/webapp/http.cc" "src/webapp/CMakeFiles/dash_webapp.dir/http.cc.o" "gcc" "src/webapp/CMakeFiles/dash_webapp.dir/http.cc.o.d"
+  "/root/repo/src/webapp/query_string.cc" "src/webapp/CMakeFiles/dash_webapp.dir/query_string.cc.o" "gcc" "src/webapp/CMakeFiles/dash_webapp.dir/query_string.cc.o.d"
+  "/root/repo/src/webapp/servlet_analyzer.cc" "src/webapp/CMakeFiles/dash_webapp.dir/servlet_analyzer.cc.o" "gcc" "src/webapp/CMakeFiles/dash_webapp.dir/servlet_analyzer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/dash_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/dash_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

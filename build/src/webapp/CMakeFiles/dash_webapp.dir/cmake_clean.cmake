@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_webapp.dir/app_runtime.cc.o"
+  "CMakeFiles/dash_webapp.dir/app_runtime.cc.o.d"
+  "CMakeFiles/dash_webapp.dir/http.cc.o"
+  "CMakeFiles/dash_webapp.dir/http.cc.o.d"
+  "CMakeFiles/dash_webapp.dir/query_string.cc.o"
+  "CMakeFiles/dash_webapp.dir/query_string.cc.o.d"
+  "CMakeFiles/dash_webapp.dir/servlet_analyzer.cc.o"
+  "CMakeFiles/dash_webapp.dir/servlet_analyzer.cc.o.d"
+  "libdash_webapp.a"
+  "libdash_webapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_webapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawl_equivalence_test.dir/crawl_equivalence_test.cpp.o"
+  "CMakeFiles/crawl_equivalence_test.dir/crawl_equivalence_test.cpp.o.d"
+  "crawl_equivalence_test"
+  "crawl_equivalence_test.pdb"
+  "crawl_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawl_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_update_test.dir/index_update_test.cpp.o"
+  "CMakeFiles/index_update_test.dir/index_update_test.cpp.o.d"
+  "index_update_test"
+  "index_update_test.pdb"
+  "index_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_common_test.dir/mr_common_test.cpp.o"
+  "CMakeFiles/mr_common_test.dir/mr_common_test.cpp.o.d"
+  "mr_common_test"
+  "mr_common_test.pdb"
+  "mr_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirange_test.dir/multirange_test.cpp.o"
+  "CMakeFiles/multirange_test.dir/multirange_test.cpp.o.d"
+  "multirange_test"
+  "multirange_test.pdb"
+  "multirange_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfacing_test.dir/surfacing_test.cpp.o"
+  "CMakeFiles/surfacing_test.dir/surfacing_test.cpp.o.d"
+  "surfacing_test"
+  "surfacing_test.pdb"
+  "surfacing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfacing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/db_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/mapreduce_test[1]_include.cmake")
+include("/root/repo/build/tests/tpch_test[1]_include.cmake")
+include("/root/repo/build/tests/webapp_test[1]_include.cmake")
+include("/root/repo/build/tests/fragment_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/crawl_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/topk_test[1]_include.cmake")
+include("/root/repo/build/tests/index_update_test[1]_include.cmake")
+include("/root/repo/build/tests/index_io_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_app_test[1]_include.cmake")
+include("/root/repo/build/tests/pruning_test[1]_include.cmake")
+include("/root/repo/build/tests/http_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_io_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/app_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/surfacing_test[1]_include.cmake")
+include("/root/repo/build/tests/sharded_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/mr_common_test[1]_include.cmake")
+include("/root/repo/build/tests/multirange_test[1]_include.cmake")
+include("/root/repo/build/tests/result_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/composition_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
