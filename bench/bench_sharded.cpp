@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/crawler.h"
+#include "util/stopwatch.h"
 #include "core/result_cache.h"
 #include "core/sharded_engine.h"
 #include "workloads.h"
@@ -86,9 +87,36 @@ void BM_SeedCap(benchmark::State& state) {
       static_cast<double>(state.iterations());
 }
 
+// Machine-readable report: scatter-gather ns/query per shard count on the
+// warm-keyword workload (k=10, s=200; 3 timed passes after warmup).
+void WriteShardedJson() {
+  const auto keywords = bench::PickKeywords(
+      bench::Engine(2, tpch::Scale::kMedium).index(),
+      bench::Temperature::kWarm);
+  std::vector<bench::JsonCell> cells;
+  for (int shards : {1, 2, 4, 8}) {
+    const core::ShardedEngine& engine = Sharded(shards);
+    for (const std::string& kw : keywords) {  // warmup
+      benchmark::DoNotOptimize(engine.Search({kw}, 10, 200));
+    }
+    constexpr int kPasses = 3;
+    util::Stopwatch watch;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      for (const std::string& kw : keywords) {
+        benchmark::DoNotOptimize(engine.Search({kw}, 10, 200));
+      }
+    }
+    double ns = watch.ElapsedSeconds() * 1e9 /
+                static_cast<double>(kPasses * keywords.size());
+    cells.push_back({"shards" + std::to_string(shards), ns});
+  }
+  bench::WriteBenchJson("sharded", cells);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  WriteShardedJson();
   for (int shards : {1, 2, 4, 8}) {
     benchmark::RegisterBenchmark(
         ("sharded_search/shards" + std::to_string(shards)).c_str(),

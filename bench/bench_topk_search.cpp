@@ -81,10 +81,41 @@ void PrintFigure11() {
   std::printf("\n");
 }
 
+// Machine-readable report: ns/query for a fixed grid, averaged over the
+// 30 bucket keywords (3 timed passes after one warmup pass).
+void WriteTopkJson() {
+  const core::DashEngine& engine = bench::Engine(2, tpch::Scale::kMedium);
+  std::vector<bench::JsonCell> cells;
+  for (auto temp : kTemps) {
+    const auto& keywords = Keywords(temp);
+    for (int k : {1, 10}) {
+      for (std::uint64_t s : {std::uint64_t{200}, std::uint64_t{1000}}) {
+        for (const std::string& kw : keywords) {  // warmup
+          benchmark::DoNotOptimize(engine.Search({kw}, k, s));
+        }
+        constexpr int kPasses = 3;
+        util::Stopwatch watch;
+        for (int pass = 0; pass < kPasses; ++pass) {
+          for (const std::string& kw : keywords) {
+            benchmark::DoNotOptimize(engine.Search({kw}, k, s));
+          }
+        }
+        double ns = watch.ElapsedSeconds() * 1e9 /
+                    static_cast<double>(kPasses * keywords.size());
+        cells.push_back({std::string(bench::TemperatureName(temp)) + "/k" +
+                             std::to_string(k) + "/s" + std::to_string(s),
+                         ns});
+      }
+    }
+  }
+  bench::WriteBenchJson("topk", cells);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintFigure11();
+  WriteTopkJson();
   for (auto temp : kTemps) {
     for (int k : kKs) {
       for (std::uint64_t s : kSs) {

@@ -3,6 +3,8 @@
 // caching, and keyword-temperature selection (Section VII-B).
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -117,6 +119,36 @@ inline std::vector<std::string> PickKeywords(
     out.push_back(by_df[i].first);
   }
   return out;
+}
+
+// One measured cell of a machine-readable bench report.
+struct JsonCell {
+  std::string name;       // e.g. "hot/k10/s200"
+  double ns_per_query = 0;
+};
+
+// Writes `BENCH_<bench>.json` with ns/query per cell so successive runs
+// can be diffed mechanically. Target directory comes from
+// DASH_BENCH_JSON_DIR (default: current directory).
+inline void WriteBenchJson(const std::string& bench,
+                           const std::vector<JsonCell>& cells) {
+  const char* dir = std::getenv("DASH_BENCH_JSON_DIR");
+  std::string path = std::string(dir != nullptr ? dir : ".") + "/BENCH_" +
+                     bench + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"unit\": \"ns_per_query\",\n"
+                  "  \"results\": {\n", bench.c_str());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %.0f%s\n", cells[i].name.c_str(),
+                 cells[i].ns_per_query, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace dash::bench

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sql/eval.h"
+#include "util/thread_pool.h"
 
 namespace dash::core {
 
@@ -119,7 +120,7 @@ FragmentIndexBuild Crawler::BuildIndex() const {
                                  static_cast<std::uint32_t>(count));
     }
   }
-  build.index.Finalize(&build.catalog);
+  build.index.Finalize(&build.catalog, &util::ThreadPool::Shared());
   std::vector<FragmentHandle> mapping = build.catalog.Canonicalize();
   build.index.RemapFragments(mapping);
   return build;

@@ -8,6 +8,7 @@
 #include "sql/parser.h"
 #include "util/csv.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace dash::core {
 
@@ -196,7 +197,7 @@ DashEngine LoadEngine(std::istream& in) {
                                  static_cast<std::uint32_t>(occ));
     }
   }
-  build.index.Finalize(&build.catalog);
+  build.index.Finalize(&build.catalog, &util::ThreadPool::Shared());
   // Identifiers were written in canonical (ascending) order, so handles
   // are already canonical; no remap needed.
   return DashEngine::FromParts(std::move(app), std::move(build));

@@ -4,7 +4,42 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
 namespace dash::core {
+
+namespace {
+
+// Inverted-list order: TF descending, handle ascending for determinism.
+inline bool TfOrder(const Posting& a, const Posting& b) {
+  if (a.occurrences != b.occurrences) return a.occurrences > b.occurrences;
+  return a.fragment < b.fragment;
+}
+
+inline bool FragmentOrder(const Posting& a, const Posting& b) {
+  return a.fragment < b.fragment;
+}
+
+// Merge duplicate fragment entries accumulated across records/relations,
+// then establish the inverted-list order. In-place on one term's list.
+void MergeAndSort(std::vector<Posting>& list) {
+  std::sort(list.begin(), list.end(), FragmentOrder);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < list.size();) {
+    Posting merged = list[i];
+    std::size_t j = i + 1;
+    while (j < list.size() && list[j].fragment == merged.fragment) {
+      merged.occurrences += list[j].occurrences;
+      ++j;
+    }
+    list[out++] = merged;
+    i = j;
+  }
+  list.resize(out);
+  std::sort(list.begin(), list.end(), TfOrder);
+}
+
+}  // namespace
 
 void InvertedFragmentIndex::AddOccurrences(std::string_view keyword,
                                            FragmentHandle fragment,
@@ -13,39 +48,58 @@ void InvertedFragmentIndex::AddOccurrences(std::string_view keyword,
     throw std::logic_error("AddOccurrences after Finalize");
   }
   if (occurrences == 0) return;
-  lists_[std::string(keyword)].push_back(Posting{fragment, occurrences});
+  util::TermId id = dict_.Intern(keyword);
+  if (id >= building_.size()) building_.resize(id + 1);
+  building_[id].push_back(Posting{fragment, occurrences});
 }
 
-void InvertedFragmentIndex::Finalize(FragmentCatalog* catalog) {
+void InvertedFragmentIndex::Finalize(FragmentCatalog* catalog,
+                                     util::ThreadPool* pool) {
   if (finalized_) throw std::logic_error("Finalize called twice");
-  for (auto& [keyword, list] : lists_) {
-    // Merge duplicate fragment entries accumulated across records/relations.
-    std::sort(list.begin(), list.end(),
-              [](const Posting& a, const Posting& b) {
-                return a.fragment < b.fragment;
-              });
-    std::size_t out = 0;
-    for (std::size_t i = 0; i < list.size();) {
-      Posting merged = list[i];
-      std::size_t j = i + 1;
-      while (j < list.size() && list[j].fragment == merged.fragment) {
-        merged.occurrences += list[j].occurrences;
-        ++j;
-      }
-      list[out++] = merged;
-      i = j;
-    }
-    list.resize(out);
-    // Inverted-list order: TF descending, handle ascending for determinism.
-    std::sort(list.begin(), list.end(),
-              [](const Posting& a, const Posting& b) {
-                if (a.occurrences != b.occurrences)
-                  return a.occurrences > b.occurrences;
-                return a.fragment < b.fragment;
-              });
-    if (catalog != nullptr) {
-      std::size_t kh = std::hash<std::string>()(keyword);
-      for (const Posting& p : list) {
+  const std::size_t n = building_.size();
+
+  // Per-term merge + sort: terms are independent, so this is the
+  // data-parallel part.
+  if (pool != nullptr && pool->size() > 1 && n > 1) {
+    pool->ParallelFor(n, [this](std::size_t t) { MergeAndSort(building_[t]); });
+  } else {
+    for (std::size_t t = 0; t < n; ++t) MergeAndSort(building_[t]);
+  }
+
+  // Flatten into the contiguous pools.
+  std::size_t total = 0;
+  spans_.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    spans_[t].offset = total;
+    spans_[t].length = static_cast<std::uint32_t>(building_[t].size());
+    total += building_[t].size();
+  }
+  pool_.reserve(total);
+  for (std::size_t t = 0; t < n; ++t) {
+    pool_.insert(pool_.end(), building_[t].begin(), building_[t].end());
+  }
+  building_.clear();
+  building_.shrink_to_fit();
+
+  by_fragment_ = pool_;
+  auto resort_span = [this](std::size_t t) {
+    auto begin = by_fragment_.begin() +
+                 static_cast<std::ptrdiff_t>(spans_[t].offset);
+    std::sort(begin, begin + spans_[t].length, FragmentOrder);
+  };
+  if (pool != nullptr && pool->size() > 1 && n > 1) {
+    pool->ParallelFor(n, resort_span);
+  } else {
+    for (std::size_t t = 0; t < n; ++t) resort_span(t);
+  }
+
+  // Catalog crediting stays sequential: AddKeywords/MixContentHash are
+  // commutative, but the catalog itself is not thread-safe.
+  if (catalog != nullptr) {
+    for (std::size_t t = 0; t < n; ++t) {
+      std::string_view keyword = dict_.term(static_cast<util::TermId>(t));
+      std::size_t kh = std::hash<std::string_view>()(keyword);
+      for (const Posting& p : LookupId(static_cast<util::TermId>(t))) {
         catalog->AddKeywords(p.fragment, p.occurrences);
         // Commutative (keyword, occurrences) fingerprint; see
         // FragmentCatalog::MixContentHash.
@@ -60,40 +114,62 @@ void InvertedFragmentIndex::Finalize(FragmentCatalog* catalog) {
 
 void InvertedFragmentIndex::RemapFragments(
     const std::vector<FragmentHandle>& mapping) {
-  for (auto& [keyword, list] : lists_) {
-    for (Posting& p : list) p.fragment = mapping[p.fragment];
-    // Re-apply the deterministic tiebreak under the new handles.
-    std::sort(list.begin(), list.end(),
-              [](const Posting& a, const Posting& b) {
-                if (a.occurrences != b.occurrences)
-                  return a.occurrences > b.occurrences;
-                return a.fragment < b.fragment;
-              });
+  if (!finalized_) {
+    for (auto& list : building_) {
+      for (Posting& p : list) p.fragment = mapping[p.fragment];
+    }
+    return;
+  }
+  for (Posting& p : pool_) p.fragment = mapping[p.fragment];
+  // Re-apply the deterministic orders under the new handles.
+  for (const TermSpan& span : spans_) {
+    auto begin = pool_.begin() + static_cast<std::ptrdiff_t>(span.offset);
+    std::sort(begin, begin + span.length, TfOrder);
+  }
+  by_fragment_ = pool_;
+  for (const TermSpan& span : spans_) {
+    auto begin =
+        by_fragment_.begin() + static_cast<std::ptrdiff_t>(span.offset);
+    std::sort(begin, begin + span.length, FragmentOrder);
   }
 }
 
-std::span<const Posting> InvertedFragmentIndex::Lookup(
-    std::string_view keyword) const {
-  auto it = lists_.find(std::string(keyword));
-  if (it == lists_.end()) return {};
-  return it->second;
+std::span<const Posting> InvertedFragmentIndex::LookupId(
+    util::TermId term) const {
+  if (term == util::kInvalidTermId || term >= spans_.size()) return {};
+  const TermSpan& span = spans_[term];
+  return {pool_.data() + span.offset, span.length};
+}
+
+std::span<const Posting> InvertedFragmentIndex::PostingsByFragment(
+    util::TermId term) const {
+  if (term == util::kInvalidTermId || term >= spans_.size()) return {};
+  const TermSpan& span = spans_[term];
+  return {by_fragment_.data() + span.offset, span.length};
 }
 
 double InvertedFragmentIndex::Idf(std::string_view keyword) const {
-  std::size_t df = Df(keyword);
+  return IdfId(dict_.Find(keyword));
+}
+
+double InvertedFragmentIndex::IdfId(util::TermId term) const {
+  std::size_t df = LookupId(term).size();
   return df == 0 ? 0.0 : 1.0 / static_cast<double>(df);
 }
 
 std::size_t InvertedFragmentIndex::posting_count() const {
+  if (finalized_) return pool_.size();
   std::size_t n = 0;
-  for (const auto& [_, list] : lists_) n += list.size();
+  for (const auto& list : building_) n += list.size();
   return n;
 }
 
 std::size_t InvertedFragmentIndex::SizeBytes() const {
-  std::size_t bytes = 0;
-  for (const auto& [keyword, list] : lists_) {
-    bytes += keyword.size() + list.size() * sizeof(Posting);
+  std::size_t bytes = dict_.term_bytes() +
+                      spans_.size() * sizeof(TermSpan) +
+                      (pool_.size() + by_fragment_.size()) * sizeof(Posting);
+  for (const auto& list : building_) {
+    bytes += list.capacity() * sizeof(Posting);
   }
   return bytes;
 }
@@ -101,9 +177,11 @@ std::size_t InvertedFragmentIndex::SizeBytes() const {
 std::vector<std::pair<std::string, std::size_t>>
 InvertedFragmentIndex::KeywordsByDf() const {
   std::vector<std::pair<std::string, std::size_t>> out;
-  out.reserve(lists_.size());
-  for (const auto& [keyword, list] : lists_) {
-    out.emplace_back(keyword, list.size());
+  out.reserve(dict_.size());
+  for (std::size_t t = 0; t < dict_.size(); ++t) {
+    auto id = static_cast<util::TermId>(t);
+    std::size_t df = finalized_ ? spans_[t].length : building_[t].size();
+    out.emplace_back(std::string(dict_.term(id)), df);
   }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
@@ -114,15 +192,17 @@ InvertedFragmentIndex::KeywordsByDf() const {
 
 std::string InvertedFragmentIndex::ToDebugString(
     const FragmentCatalog& catalog, std::size_t max_keywords) const {
-  std::vector<std::string> keywords;
-  keywords.reserve(lists_.size());
-  for (const auto& [keyword, _] : lists_) keywords.push_back(keyword);
+  std::vector<std::string_view> keywords;
+  keywords.reserve(dict_.size());
+  for (std::size_t t = 0; t < dict_.size(); ++t) {
+    keywords.push_back(dict_.term(static_cast<util::TermId>(t)));
+  }
   std::sort(keywords.begin(), keywords.end());
   if (max_keywords != 0 && keywords.size() > max_keywords) {
     keywords.resize(max_keywords);
   }
   std::string out;
-  for (const std::string& keyword : keywords) {
+  for (std::string_view keyword : keywords) {
     out += keyword;
     out += " ->";
     for (const Posting& p : Lookup(keyword)) {

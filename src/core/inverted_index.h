@@ -5,16 +5,28 @@
 // (fragment, occurrences) sorted by occurrences descending, so high-TF
 // fragments sit at the head of the list and IDF_w falls out as the inverse
 // of the list length (Section VI's approximation).
+//
+// Storage layout: keywords are interned into dense TermIds (util/term_dict.h)
+// and, after Finalize, all posting lists live in two contiguous pools
+// addressed by per-term (offset, length) spans — one pool in the classic
+// TF-descending order, one re-sorted by fragment handle so the searcher can
+// binary-search occurrences without copying lists at query time. Before
+// Finalize postings accumulate in per-term growth vectors.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/fragment.h"
+#include "util/term_dict.h"
+
+namespace dash::util {
+class ThreadPool;
+}
 
 namespace dash::core {
 
@@ -33,16 +45,32 @@ class InvertedFragmentIndex {
                       std::uint32_t occurrences);
 
   // Sorts every posting list (occurrences desc, fragment asc as the
-  // deterministic tiebreak), deduplicates accumulated pairs, and credits
-  // each fragment's keyword total in `catalog`. Must be called exactly once
-  // after the last AddOccurrences.
-  void Finalize(FragmentCatalog* catalog);
+  // deterministic tiebreak), deduplicates accumulated pairs, flattens the
+  // lists into the contiguous pools, and credits each fragment's keyword
+  // total in `catalog`. Must be called exactly once after the last
+  // AddOccurrences. When `pool` is given the per-term sort/merge work is
+  // distributed across it (the result is bit-identical: terms are
+  // independent and catalog crediting stays sequential).
+  void Finalize(FragmentCatalog* catalog,
+                util::ThreadPool* pool = nullptr);
 
   // Remaps fragment handles after FragmentCatalog::Canonicalize.
   void RemapFragments(const std::vector<FragmentHandle>& mapping);
 
   // Posting list for `keyword`; empty when absent. Valid after Finalize.
-  std::span<const Posting> Lookup(std::string_view keyword) const;
+  // Allocation-free: the probe is a heterogeneous string_view lookup.
+  std::span<const Posting> Lookup(std::string_view keyword) const {
+    return LookupId(dict_.Find(keyword));
+  }
+
+  // Id-addressed variants for the query path (intern once, then hit
+  // contiguous spans).
+  util::TermId FindTerm(std::string_view keyword) const {
+    return dict_.Find(keyword);
+  }
+  std::span<const Posting> LookupId(util::TermId term) const;
+  // Same postings re-sorted by fragment handle (for binary search).
+  std::span<const Posting> PostingsByFragment(util::TermId term) const;
 
   // Document frequency: number of fragments containing `keyword`.
   std::size_t Df(std::string_view keyword) const {
@@ -51,8 +79,11 @@ class InvertedFragmentIndex {
 
   // IDF approximation of Section VI: 1 / df (0 for unknown keywords).
   double Idf(std::string_view keyword) const;
+  double IdfId(util::TermId term) const;
 
-  std::size_t keyword_count() const { return lists_.size(); }
+  const util::TermDict& dict() const { return dict_; }
+
+  std::size_t keyword_count() const { return dict_.size(); }
   std::size_t posting_count() const;
   std::size_t SizeBytes() const;
 
@@ -65,7 +96,18 @@ class InvertedFragmentIndex {
                             std::size_t max_keywords = 0) const;
 
  private:
-  std::unordered_map<std::string, std::vector<Posting>> lists_;
+  struct TermSpan {
+    std::size_t offset = 0;
+    std::uint32_t length = 0;
+  };
+
+  util::TermDict dict_;
+  // Pre-Finalize accumulation, one growth vector per TermId.
+  std::vector<std::vector<Posting>> building_;
+  // Post-Finalize flat storage: spans_[id] addresses both pools.
+  std::vector<TermSpan> spans_;
+  std::vector<Posting> pool_;          // TF desc, fragment asc
+  std::vector<Posting> by_fragment_;   // fragment asc
   bool finalized_ = false;
 };
 

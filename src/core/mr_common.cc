@@ -6,6 +6,7 @@
 #include <string>
 
 #include "util/csv.h"
+#include "util/thread_pool.h"
 
 namespace dash::core {
 
@@ -217,7 +218,7 @@ void ConsumeInvertedLists(const mr::Dataset& lists,
 }
 
 void FinalizeBuild(FragmentIndexBuild* build) {
-  build->index.Finalize(&build->catalog);
+  build->index.Finalize(&build->catalog, &util::ThreadPool::Shared());
   std::vector<FragmentHandle> mapping = build->catalog.Canonicalize();
   build->index.RemapFragments(mapping);
 }

@@ -1,8 +1,8 @@
 #include "core/sharded_engine.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
-#include <thread>
 
 namespace dash::core {
 
@@ -25,7 +25,8 @@ std::size_t ShardOf(const db::Row& id, std::size_t num_eq,
 }  // namespace
 
 ShardedEngine::ShardedEngine(webapp::WebAppInfo app, FragmentIndexBuild build,
-                             int num_shards) {
+                             int num_shards, util::ThreadPool* pool)
+    : pool_(pool) {
   if (num_shards < 1) {
     throw std::invalid_argument("need at least one shard");
   }
@@ -52,10 +53,17 @@ ShardedEngine::ShardedEngine(webapp::WebAppInfo app, FragmentIndexBuild build,
       parts[shard].index.AddOccurrences(keyword, local, p.occurrences);
     }
   }
+  // Finalize + graph construction are per-shard independent: scatter the
+  // build work, then assemble shards_ in index order (determinism).
+  std::vector<std::unique_ptr<DashEngine>> built(n);
+  this->pool().ParallelFor(n, [&](std::size_t s) {
+    parts[s].index.Finalize(&parts[s].catalog);
+    built[s] = std::make_unique<DashEngine>(
+        DashEngine::FromParts(app, std::move(parts[s])));
+  });
   shards_.reserve(n);
-  for (FragmentIndexBuild& part : parts) {
-    part.index.Finalize(&part.catalog);
-    shards_.push_back(DashEngine::FromParts(app, std::move(part)));
+  for (std::unique_ptr<DashEngine>& engine : built) {
+    shards_.push_back(std::move(*engine));
   }
 }
 
@@ -76,22 +84,16 @@ std::vector<SearchResult> ShardedEngine::Search(
                : 1.0 / static_cast<double>(it->second);
   };
 
-  // Scatter: every shard computes its local top-k with global scoring, in
-  // parallel (each shard's index is independent and searching is const).
+  // Scatter: every shard computes its local top-k with global scoring, on
+  // the persistent pool (each shard's index is independent and searching
+  // is const; per_shard slots make the gather order thread-count-free).
   std::vector<std::vector<SearchResult>> per_shard(shards_.size());
-  {
-    std::vector<std::thread> workers;
-    workers.reserve(shards_.size());
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      workers.emplace_back([&, s] {
-        const DashEngine& shard = shards_[s];
-        TopKSearcher searcher(shard.index(), shard.catalog(), shard.graph(),
-                              shard.selection(), &shard.app(), idf);
-        per_shard[s] = searcher.Search(keywords, k, min_page_words);
-      });
-    }
-    for (std::thread& t : workers) t.join();
-  }
+  pool().ParallelFor(shards_.size(), [&](std::size_t s) {
+    const DashEngine& shard = shards_[s];
+    TopKSearcher searcher(shard.index(), shard.catalog(), shard.graph(),
+                          shard.selection(), &shard.app(), idf);
+    per_shard[s] = searcher.Search(keywords, k, min_page_words);
+  });
   std::vector<SearchResult> merged;
   for (std::vector<SearchResult>& results : per_shard) {
     for (SearchResult& r : results) merged.push_back(std::move(r));

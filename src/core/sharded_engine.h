@@ -17,6 +17,11 @@
 // Scores stay globally comparable because every shard scores with the
 // *global* document frequencies (captured at partitioning time), not its
 // local ones — the standard distributed-IR correction.
+//
+// Scatter-gather runs on a persistent util::ThreadPool (per-query thread
+// spawning costs more than a warm shard search). Results are independent
+// of the pool size: each shard writes its own result slot and the gather
+// merge is a deterministic sort.
 #pragma once
 
 #include <string>
@@ -24,15 +29,18 @@
 #include <vector>
 
 #include "core/dash_engine.h"
+#include "util/thread_pool.h"
 
 namespace dash::core {
 
 class ShardedEngine {
  public:
   // Partitions `build` into `num_shards` shards. The app info is shared by
-  // all shards (URL formulation is shard-independent).
+  // all shards (URL formulation is shard-independent). Shard finalization
+  // and graph construction are distributed across `pool` (default: the
+  // process-wide shared pool), which also serves Search's scatter phase.
   ShardedEngine(webapp::WebAppInfo app, FragmentIndexBuild build,
-                int num_shards);
+                int num_shards, util::ThreadPool* pool = nullptr);
 
   std::size_t shard_count() const { return shards_.size(); }
   const DashEngine& shard(std::size_t i) const { return shards_[i]; }
@@ -46,9 +54,14 @@ class ShardedEngine {
   std::size_t fragment_count() const;
 
  private:
+  util::ThreadPool& pool() const {
+    return pool_ != nullptr ? *pool_ : util::ThreadPool::Shared();
+  }
+
   std::vector<DashEngine> shards_;
   // Global keyword -> document frequency, for cross-shard-consistent IDF.
   std::unordered_map<std::string, std::size_t> global_df_;
+  util::ThreadPool* pool_ = nullptr;  // not owned; nullptr = shared pool
 };
 
 }  // namespace dash::core

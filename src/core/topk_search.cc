@@ -1,7 +1,7 @@
 #include "core/topk_search.h"
 
 #include <algorithm>
-#include <queue>
+#include <memory>
 #include <unordered_set>
 
 #include "util/tokenizer.h"
@@ -10,15 +10,29 @@ namespace dash::core {
 
 namespace {
 
-// A pending db-page in the priority queue (expanded entries only; seeds —
-// single-fragment pages — stay in a lightweight sorted array and are
-// materialized lazily, which keeps hot-keyword queries with tens of
-// thousands of relevant fragments cheap).
-struct Entry {
+// Heavy state of a pending db-page, held behind a pointer so heap sifts
+// move 32-byte entries instead of three vectors. Payloads are recycled
+// through a free list: steady-state expansion does no vector allocation,
+// it reuses the capacity of dead entries.
+struct Payload {
   std::vector<FragmentHandle> members;   // ascending
+  // Expansion frontier: graph neighbors of `members` that are not members
+  // themselves, kept sorted. Maintained incrementally (O(degree) per
+  // expansion) instead of being recollected from every member's adjacency
+  // list on each pop, which costs O(|members| * degree) on deep pages.
+  std::vector<FragmentHandle> frontier;  // ascending
   std::vector<std::uint64_t> occ;        // per queried keyword
-  std::uint64_t words = 0;
+};
+
+// A pending db-page in the priority queue (expanded entries only; seeds —
+// single-fragment pages — stay in a lightweight heap and are materialized
+// lazily, which keeps hot-keyword queries with tens of thousands of
+// relevant fragments cheap).
+struct Entry {
   double score = 0;
+  std::uint64_t set_hash = 0;            // sum of MixHandle over members
+  std::uint64_t words = 0;
+  Payload* p = nullptr;                  // owned by the search's arena
 };
 
 // Queue order: score descending; ties broken by smaller member list
@@ -26,26 +40,100 @@ struct Entry {
 struct EntryLess {
   bool operator()(const Entry& a, const Entry& b) const {
     if (a.score != b.score) return a.score < b.score;
-    return a.members > b.members;
+    return a.p->members > b.p->members;
   }
 };
 
-std::string MemberKey(const std::vector<FragmentHandle>& members) {
-  std::string key;
-  key.reserve(members.size() * sizeof(FragmentHandle));
-  for (FragmentHandle m : members) {
-    key.append(reinterpret_cast<const char*>(&m), sizeof(m));
-  }
-  return key;
+// Per-handle mixer (splitmix64 finalizer). A member set's fingerprint is
+// the *sum* of its handles' mixes, so it updates in O(1) per expansion
+// and is independent of growth order.
+inline std::uint64_t MixHandle(FragmentHandle f) {
+  std::uint64_t x = static_cast<std::uint64_t>(f) + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
 }
 
-// One query term's postings re-sorted by fragment handle for O(log df)
-// occurrence lookups during expansion scoring.
+// Set of already-queued member sets. Open-addressed over (fingerprint,
+// span into a shared member pool): an insert costs one probe run and an
+// amortized pool append — no per-insert node or key allocation, and
+// equality is exact (element compare on fingerprint match), so the dedup
+// behaves identically to keying on the full member list.
+class VisitedSet {
+ public:
+  VisitedSet() : slots_(1024) {}
+
+  // Forget all recorded sets but keep the table and pool capacity, so a
+  // reused instance runs allocation-free once warmed up. O(1): slots from
+  // earlier queries are invalidated by the generation stamp, not by
+  // clearing the (potentially large) table.
+  void Reset() {
+    ++gen_;
+    pool_.clear();
+    count_ = 0;
+  }
+
+  // Records `members` (fingerprint `hash`); false if already present.
+  bool Insert(std::uint64_t hash,
+              const std::vector<FragmentHandle>& members) {
+    if ((count_ + 1) * 2 > slots_.size()) Grow();
+    std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hash & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.gen != gen_) {
+        s = Slot{hash, static_cast<std::uint32_t>(pool_.size()),
+                 static_cast<std::uint32_t>(members.size()), gen_};
+        pool_.insert(pool_.end(), members.begin(), members.end());
+        ++count_;
+        return true;
+      }
+      if (s.hash == hash && s.length == members.size() &&
+          std::equal(members.begin(), members.end(),
+                     pool_.begin() + s.offset)) {
+        return false;
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+    std::uint64_t gen = 0;  // slot is live iff gen == VisitedSet::gen_
+  };
+
+  void Grow() {
+    std::vector<Slot> next(slots_.size() * 2);
+    std::size_t mask = next.size() - 1;
+    for (const Slot& s : slots_) {
+      if (s.gen != gen_) continue;
+      std::size_t i = s.hash & mask;
+      while (next[i].gen == gen_) i = (i + 1) & mask;
+      next[i] = s;
+    }
+    slots_ = std::move(next);
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<FragmentHandle> pool_;
+  std::size_t count_ = 0;
+  std::uint64_t gen_ = 1;  // slots start at gen 0 == empty
+};
+
+// One query term's postings: IDF plus a *borrowed* fragment-sorted span
+// from the index's flat pool (no per-query copy or re-sort — the index
+// precomputes the fragment order at Finalize).
 struct TermPostings {
   double idf = 0;
-  std::vector<Posting> by_frag;  // sorted by fragment
+  std::span<const Posting> by_frag;  // sorted by fragment
+  // For terms whose list covers a large share of the catalog the
+  // expansion loop probes occurrences constantly; a dense frag->occ
+  // array turns each probe into one load instead of a binary search.
+  std::vector<std::uint32_t> dense;
 
   std::uint32_t OccurrencesIn(FragmentHandle f) const {
+    if (!dense.empty()) return dense[f];
     auto it = std::lower_bound(
         by_frag.begin(), by_frag.end(), f,
         [](const Posting& p, FragmentHandle h) { return p.fragment < h; });
@@ -59,6 +147,23 @@ struct Seed {
   double score = 0;
   FragmentHandle fragment = 0;
 };
+
+// Heap comparator yielding pops in (score desc, fragment asc) order — the
+// exact order the old fully-sorted seed array delivered, without the
+// O(df log df) per-query sort.
+struct SeedPopLater {
+  bool operator()(const Seed& a, const Seed& b) const {
+    if (a.score != b.score) return a.score < b.score;
+    return a.fragment > b.fragment;
+  }
+};
+
+// Lexicographic {f} < members, allocation-free.
+inline bool SingletonLess(FragmentHandle f,
+                          const std::vector<FragmentHandle>& members) {
+  return f < members.front() ||
+         (f == members.front() && members.size() > 1);
+}
 
 }  // namespace
 
@@ -77,36 +182,49 @@ TopKSearcher::TopKSearcher(const InvertedFragmentIndex& index,
 std::vector<SearchResult> TopKSearcher::Search(
     const std::vector<std::string>& keywords, int k,
     std::uint64_t min_page_words, std::size_t max_seeds) const {
-  // Normalize the query with the indexing tokenizer and drop duplicates.
+  // Normalize the query with the indexing tokenizer, resolve each token to
+  // its interned TermId once, and drop duplicates.
   std::vector<std::string> terms;
+  std::vector<util::TermId> term_ids;
   for (const std::string& raw : keywords) {
     for (std::string& tok : util::Tokenize(raw)) {
       if (std::find(terms.begin(), terms.end(), tok) == terms.end()) {
+        term_ids.push_back(index_.FindTerm(tok));
         terms.push_back(std::move(tok));
       }
     }
   }
   std::vector<SearchResult> results;
   if (terms.empty() || k <= 0) return results;
+  static const std::vector<FragmentHandle> kNoCandidates;
 
-  // Per-term IDF and fragment-sorted postings (line 1 of Algorithm 1).
+  // Per-term IDF and fragment-sorted postings (line 1 of Algorithm 1),
+  // borrowed straight from the index pools.
   std::vector<TermPostings> postings(terms.size());
   std::vector<FragmentHandle> relevant;
+  std::size_t relevant_cap = 0;
   for (std::size_t t = 0; t < terms.size(); ++t) {
-    postings[t].idf = idf_ ? idf_(terms[t]) : index_.Idf(terms[t]);
-    auto list = index_.Lookup(terms[t]);
-    postings[t].by_frag.assign(list.begin(), list.end());
-    std::sort(postings[t].by_frag.begin(), postings[t].by_frag.end(),
-              [](const Posting& a, const Posting& b) {
-                return a.fragment < b.fragment;
-              });
-    for (const Posting& p : postings[t].by_frag) {
-      relevant.push_back(p.fragment);
+    postings[t].idf = idf_ ? idf_(terms[t]) : index_.IdfId(term_ids[t]);
+    postings[t].by_frag = index_.PostingsByFragment(term_ids[t]);
+    relevant_cap += postings[t].by_frag.size();
+    if (postings[t].by_frag.size() * 8 >= catalog_.size()) {
+      postings[t].dense.assign(catalog_.size(), 0);
+      for (const Posting& p : postings[t].by_frag) {
+        postings[t].dense[p.fragment] = p.occurrences;
+      }
     }
   }
-  std::sort(relevant.begin(), relevant.end());
-  relevant.erase(std::unique(relevant.begin(), relevant.end()),
-                 relevant.end());
+  relevant.reserve(relevant_cap);
+  for (const TermPostings& tp : postings) {
+    for (const Posting& p : tp.by_frag) relevant.push_back(p.fragment);
+  }
+  if (postings.size() > 1) {
+    // Each span is already fragment-sorted; only the multi-term union
+    // needs the sort+dedup.
+    std::sort(relevant.begin(), relevant.end());
+    relevant.erase(std::unique(relevant.begin(), relevant.end()),
+                   relevant.end());
+  }
 
   auto score_of = [&postings](const std::vector<std::uint64_t>& occ,
                               std::uint64_t words) {
@@ -119,62 +237,132 @@ std::vector<SearchResult> TopKSearcher::Search(
     return score;
   };
 
-  // Seed list: one prospective entry per relevant fragment (line 2),
-  // sorted by score descending (ties: smaller handle first, matching
-  // EntryLess on single-member lists).
+  // Seed heap: one prospective entry per relevant fragment (line 2),
+  // popped lazily in score-descending order (ties: smaller handle first,
+  // matching EntryLess on single-member lists). Building the heap is O(n)
+  // where the old sorted array cost O(n log n) per query.
   std::vector<Seed> seeds;
   seeds.reserve(relevant.size());
   std::vector<std::uint64_t> seed_occ(terms.size());
+  // `relevant` and every by_frag span are fragment-ascending, so seed
+  // occurrences come from a linear merge-walk (one cursor per term)
+  // instead of a binary search per (fragment, term) pair.
+  std::vector<std::size_t> cursor(terms.size(), 0);
   for (FragmentHandle f : relevant) {
     for (std::size_t t = 0; t < terms.size(); ++t) {
-      seed_occ[t] = postings[t].OccurrencesIn(f);
+      const auto& by_frag = postings[t].by_frag;
+      std::size_t& c = cursor[t];
+      while (c < by_frag.size() && by_frag[c].fragment < f) ++c;
+      seed_occ[t] =
+          c < by_frag.size() && by_frag[c].fragment == f ? by_frag[c].occurrences
+                                                         : 0;
     }
     seeds.push_back(Seed{score_of(seed_occ, catalog_.keyword_total(f)), f});
   }
-  std::sort(seeds.begin(), seeds.end(), [](const Seed& a, const Seed& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.fragment < b.fragment;
-  });
-  if (max_seeds > 0 && seeds.size() > max_seeds) {
-    seeds.resize(max_seeds);  // search-scope cap; see header
-  }
+  std::make_heap(seeds.begin(), seeds.end(), SeedPopLater{});
+  // Search-scope cap (see header): equivalent to truncating the sorted
+  // seed array — only the first `seed_budget` pops are considered, and
+  // consumed seeds count against the budget exactly as truncation did.
+  std::size_t seed_budget =
+      max_seeds > 0 ? std::min(max_seeds, seeds.size()) : seeds.size();
+  std::size_t heap_size = seeds.size();
+  std::size_t seeds_popped = 0;
+
+  auto drop_top_seed = [&] {
+    std::pop_heap(seeds.begin(),
+                  seeds.begin() + static_cast<std::ptrdiff_t>(heap_size),
+                  SeedPopLater{});
+    --heap_size;
+    ++seeds_popped;
+  };
+
+  // Payload arena + free list (see Payload). Thread-local so consecutive
+  // queries on a thread reuse warmed-up buffer capacity; every payload
+  // acquired during a search is released by the time it returns (dead
+  // heads immediately, queue survivors in the sweep before the return),
+  // so the free list stays consistent across calls.
+  static thread_local std::vector<std::unique_ptr<Payload>> payload_arena;
+  static thread_local std::vector<Payload*> free_payloads;
+  auto acquire_payload = [&]() -> Payload* {
+    if (!free_payloads.empty()) {
+      Payload* p = free_payloads.back();
+      free_payloads.pop_back();
+      p->members.clear();
+      p->frontier.clear();
+      return p;
+    }
+    payload_arena.push_back(std::make_unique<Payload>());
+    return payload_arena.back().get();
+  };
+  auto release_payload = [&](Payload* p) { free_payloads.push_back(p); };
 
   auto materialize = [&](const Seed& seed) {
     Entry e;
-    e.members = {seed.fragment};
-    e.occ.resize(terms.size());
+    e.p = acquire_payload();
+    e.p->members.push_back(seed.fragment);
+    e.p->occ.resize(terms.size());
     for (std::size_t t = 0; t < terms.size(); ++t) {
-      e.occ[t] = postings[t].OccurrencesIn(seed.fragment);
+      e.p->occ[t] = postings[t].OccurrencesIn(seed.fragment);
+    }
+    e.set_hash = MixHandle(seed.fragment);
+    for (FragmentHandle n : graph_.Neighbors(seed.fragment)) {
+      if (n == seed.fragment) continue;
+      auto pos = std::lower_bound(e.p->frontier.begin(), e.p->frontier.end(),
+                                  n);
+      if (pos == e.p->frontier.end() || *pos != n) {
+        e.p->frontier.insert(pos, n);
+      }
     }
     e.words = catalog_.keyword_total(seed.fragment);
     e.score = seed.score;
     return e;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, EntryLess> queue;
+  // Expanded-entry max-heap. Hand-rolled over a vector (same layout a
+  // std::priority_queue would produce) so the head can be *moved* out —
+  // top()+pop() on priority_queue forces a deep Entry copy per pop.
+  std::vector<Entry> queue;
+  auto queue_top = [&]() -> const Entry& { return queue.front(); };
+  auto queue_pop = [&] {
+    std::pop_heap(queue.begin(), queue.end(), EntryLess{});
+    Entry e = std::move(queue.back());
+    queue.pop_back();
+    return e;
+  };
+  auto queue_push = [&](Entry e) {
+    queue.push_back(std::move(e));
+    std::push_heap(queue.begin(), queue.end(), EntryLess{});
+  };
   std::unordered_set<FragmentHandle> consumed;  // seeds absorbed by merges
-  std::unordered_set<std::string> visited;      // expanded sets already queued
-  std::unordered_set<FragmentHandle> used;      // fragments already output
-  std::size_t next_seed = 0;
-
+  static thread_local VisitedSet visited;       // expanded sets already queued
+  visited.Reset();
+  // Fragments already output, as a stamp array: the overlap test below
+  // runs per member per pop, so it must be a flat load; stamping makes
+  // the per-query reset O(1) instead of an O(catalog) clear.
+  static thread_local std::vector<std::uint64_t> used_stamp;
+  static thread_local std::uint64_t used_gen = 0;
+  ++used_gen;
+  if (used_stamp.size() < catalog_.size()) used_stamp.resize(catalog_.size());
+  consumed.reserve(256);
+  // Scratch buffers reused across queue pops (expansion scoring).
+  std::vector<std::uint64_t> cand_occ, best_occ;
   while (static_cast<int>(results.size()) < k) {
+    // Drop seeds absorbed by an earlier expansion ("removed from Q").
+    while (seeds_popped < seed_budget &&
+           consumed.contains(seeds.front().fragment)) {
+      drop_top_seed();
+    }
     // Dequeue the globally best pending entry: compare the best unpopped
     // seed with the top of the expanded-entry queue.
-    while (next_seed < seeds.size() &&
-           consumed.contains(seeds[next_seed].fragment)) {
-      ++next_seed;  // "removed from Q" by an earlier expansion
-    }
     Entry head;
-    if (next_seed < seeds.size() &&
-        (queue.empty() || seeds[next_seed].score > queue.top().score ||
-         (seeds[next_seed].score == queue.top().score &&
-          std::vector<FragmentHandle>{seeds[next_seed].fragment} <
-              queue.top().members))) {
-      head = materialize(seeds[next_seed]);
-      ++next_seed;
+    if (seeds_popped < seed_budget &&
+        (queue.empty() || seeds.front().score > queue_top().score ||
+         (seeds.front().score == queue_top().score &&
+          SingletonLess(seeds.front().fragment, queue_top().p->members)))) {
+      head = materialize(seeds.front());
+      drop_top_seed();
     } else if (!queue.empty()) {
-      head = queue.top();
-      queue.pop();
+      head = queue_pop();
     } else {
       break;  // Q exhausted
     }
@@ -183,38 +371,32 @@ std::vector<SearchResult> TopKSearcher::Search(
     // have overlapped contents, and they can be easily identified to be
     // excluded from search results" (paper Section IV).
     bool overlaps_output = false;
-    for (FragmentHandle m : head.members) {
-      if (used.contains(m)) {
+    for (FragmentHandle m : head.p->members) {
+      if (used_stamp[m] == used_gen) {
         overlaps_output = true;
         break;
       }
     }
-    if (overlaps_output) continue;
-
-    // Candidate neighbors (fragment graph) not already in the page.
-    std::vector<FragmentHandle> candidates;
-    if (head.words < min_page_words) {
-      for (FragmentHandle m : head.members) {
-        for (FragmentHandle n : graph_.Neighbors(m)) {
-          if (!std::binary_search(head.members.begin(), head.members.end(),
-                                  n) &&
-              std::find(candidates.begin(), candidates.end(), n) ==
-                  candidates.end()) {
-            candidates.push_back(n);
-          }
-        }
-      }
+    if (overlaps_output) {
+      release_payload(head.p);
+      continue;
     }
+
+    // Candidate neighbors (fragment graph) not already in the page: the
+    // entry's incrementally maintained frontier (empty once the page has
+    // reached its word budget — no further growth is attempted).
+    const std::vector<FragmentHandle>& candidates =
+        head.words < min_page_words ? head.p->frontier : kNoCandidates;
 
     if (candidates.empty()) {
       // Not expandable (size reached or no fragments available): output.
       SearchResult r;
-      r.fragments = head.members;
+      r.fragments = head.p->members;
       r.score = head.score;
       r.size_words = head.words;
       // Reverse query string parsing: equality values from the identifier
       // prefix, range bounds from the min/max over the member fragments.
-      const db::Row& first = catalog_.id(head.members.front());
+      const db::Row& first = catalog_.id(head.p->members.front());
       for (std::size_t d = 0; d < selection_.size(); ++d) {
         const sql::SelectionAttribute& attr = selection_[d];
         if (!attr.is_range) {
@@ -222,7 +404,7 @@ std::vector<SearchResult> TopKSearcher::Search(
           continue;
         }
         db::Value lo = first[d], hi = first[d];
-        for (FragmentHandle m : head.members) {
+        for (FragmentHandle m : head.p->members) {
           const db::Value& v = catalog_.id(m)[d];
           if (v < lo) lo = v;
           if (hi < v) hi = v;
@@ -239,7 +421,8 @@ std::vector<SearchResult> TopKSearcher::Search(
                                                       r.params.end());
         r.url = app_->UrlFor(url_params);
       }
-      for (FragmentHandle m : head.members) used.insert(m);
+      for (FragmentHandle m : head.p->members) used_stamp[m] = used_gen;
+      release_payload(head.p);
       results.push_back(std::move(r));
       continue;
     }
@@ -249,21 +432,20 @@ std::vector<SearchResult> TopKSearcher::Search(
     bool best_relevant = false;
     double best_score = -1;
     FragmentHandle best = 0;
-    std::vector<std::uint64_t> best_occ;
     std::uint64_t best_words = 0;
     bool have_best = false;
     for (FragmentHandle c : candidates) {
-      std::vector<std::uint64_t> occ = head.occ;
+      cand_occ.assign(head.p->occ.begin(), head.p->occ.end());
       bool is_relevant = false;
       for (std::size_t t = 0; t < terms.size(); ++t) {
         std::uint32_t o = postings[t].OccurrencesIn(c);
         if (o != 0) {
-          occ[t] += o;
+          cand_occ[t] += o;
           is_relevant = true;
         }
       }
       std::uint64_t words = head.words + catalog_.keyword_total(c);
-      double score = score_of(occ, words);
+      double score = score_of(cand_occ, words);
       bool better;
       if (is_relevant != best_relevant) {
         better = is_relevant;
@@ -277,25 +459,50 @@ std::vector<SearchResult> TopKSearcher::Search(
         best_relevant = is_relevant;
         best_score = score;
         best = c;
-        best_occ = std::move(occ);
+        best_occ.swap(cand_occ);
         best_words = words;
       }
     }
 
+    // Single-pass sorted insert of `best` into a recycled member buffer;
+    // `head` is dead past this point and donates its payload back.
     Entry expanded;
-    expanded.members = head.members;
-    expanded.members.insert(
-        std::upper_bound(expanded.members.begin(), expanded.members.end(),
-                         best),
-        best);
-    expanded.occ = std::move(best_occ);
+    expanded.p = acquire_payload();
+    const std::vector<FragmentHandle>& hm = head.p->members;
+    expanded.p->members.reserve(hm.size() + 1);
+    auto split = std::upper_bound(hm.begin(), hm.end(), best);
+    expanded.p->members.insert(expanded.p->members.end(), hm.begin(), split);
+    expanded.p->members.push_back(best);
+    expanded.p->members.insert(expanded.p->members.end(), split, hm.end());
+    // New frontier: the old one minus `best`, plus best's neighbors that
+    // are neither members nor frontier candidates already.
+    std::vector<FragmentHandle>& nf = expanded.p->frontier;
+    nf.reserve(head.p->frontier.size() + 4);
+    for (FragmentHandle f : head.p->frontier) {
+      if (f != best) nf.push_back(f);
+    }
+    for (FragmentHandle n : graph_.Neighbors(best)) {
+      if (std::binary_search(expanded.p->members.begin(),
+                             expanded.p->members.end(), n)) {
+        continue;
+      }
+      auto pos = std::lower_bound(nf.begin(), nf.end(), n);
+      if (pos == nf.end() || *pos != n) nf.insert(pos, n);
+    }
+    expanded.p->occ.assign(best_occ.begin(), best_occ.end());
+    expanded.set_hash = head.set_hash + MixHandle(best);
     expanded.words = best_words;
     expanded.score = best_score;
+    release_payload(head.p);
     if (best_relevant) consumed.insert(best);
-    if (visited.insert(MemberKey(expanded.members)).second) {
-      queue.push(std::move(expanded));
+    bool fresh = visited.Insert(expanded.set_hash, expanded.p->members);
+    if (fresh) {
+      queue_push(expanded);
+    } else {
+      release_payload(expanded.p);
     }
   }
+  for (const Entry& e : queue) release_payload(e.p);
   return results;
 }
 

@@ -1,0 +1,30 @@
+#include "util/term_dict.h"
+
+#include <cstring>
+
+namespace dash::util {
+
+TermId TermDict::Intern(std::string_view term) {
+  auto it = map_.find(term);
+  if (it != map_.end()) return it->second;
+
+  if (term.size() > chunk_cap_ - chunk_used_ || chunks_.empty()) {
+    std::size_t cap = std::max(kChunkBytes, term.size());
+    chunks_.push_back(std::make_unique<char[]>(cap));
+    chunk_cap_ = cap;
+    chunk_used_ = 0;
+    arena_bytes_ += cap;
+  }
+  char* dst = chunks_.back().get() + chunk_used_;
+  std::memcpy(dst, term.data(), term.size());
+  chunk_used_ += term.size();
+  term_bytes_ += term.size();
+
+  std::string_view stored(dst, term.size());
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(stored);
+  map_.emplace(stored, id);
+  return id;
+}
+
+}  // namespace dash::util

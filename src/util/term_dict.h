@@ -1,0 +1,54 @@
+// Arena-backed string interner for index terms.
+//
+// The inverted index stores every keyword exactly once in a bump arena and
+// addresses it by a dense 32-bit TermId. Interning kills the two string
+// costs of the hot path: per-keyword heap nodes at build time and
+// std::string construction at query time (lookup is heterogeneous — a
+// string_view probes the map directly). Views handed out by `term()` stay
+// valid for the dictionary's lifetime: arena chunks are never reallocated.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dash::util {
+
+using TermId = std::uint32_t;
+inline constexpr TermId kInvalidTermId = ~TermId{0};
+
+class TermDict {
+ public:
+  // Returns the id of `term`, interning a copy on first sight.
+  TermId Intern(std::string_view term);
+
+  // Id of `term`, or kInvalidTermId when absent. Allocation-free.
+  TermId Find(std::string_view term) const {
+    auto it = map_.find(term);
+    return it == map_.end() ? kInvalidTermId : it->second;
+  }
+
+  std::string_view term(TermId id) const { return terms_[id]; }
+  std::size_t size() const { return terms_.size(); }
+
+  // Bytes held by the arena chunks (capacity, not just used bytes).
+  std::size_t arena_bytes() const { return arena_bytes_; }
+
+  // Total bytes of interned term text (the logical dictionary size).
+  std::size_t term_bytes() const { return term_bytes_; }
+
+ private:
+  static constexpr std::size_t kChunkBytes = 1 << 16;
+
+  std::vector<std::string_view> terms_;  // id -> view into an arena chunk
+  std::unordered_map<std::string_view, TermId> map_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::size_t chunk_used_ = 0;   // bytes used in chunks_.back()
+  std::size_t chunk_cap_ = 0;    // capacity of chunks_.back()
+  std::size_t arena_bytes_ = 0;
+  std::size_t term_bytes_ = 0;
+};
+
+}  // namespace dash::util

@@ -1,0 +1,99 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <algorithm>
+#include <exception>
+
+namespace dash::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push(std::move(job));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stopping_ and drained
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::size_t limit;
+    const std::function<void(std::size_t)>* fn;
+  };
+  auto state = std::make_shared<Shared>();
+  state->limit = n;
+  state->fn = &fn;  // ParallelFor blocks until every helper finished
+
+  auto drain = [](const std::shared_ptr<Shared>& s) {
+    for (;;) {
+      std::size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->limit) return;
+      if (s->failed.load(std::memory_order_relaxed)) continue;
+      try {
+        (*s->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s->error_mutex);
+        if (!s->error) s->error = std::current_exception();
+        s->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  // One helper task per worker (capped by n-1: the caller handles the
+  // rest). Helpers that find the counter exhausted return immediately.
+  std::size_t helpers = std::min(workers_.size(), n - 1);
+  std::vector<std::future<void>> done;
+  done.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    done.push_back(Submit([state, drain] { drain(state); }));
+  }
+  drain(state);
+  for (std::future<void>& f : done) f.get();
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace dash::util

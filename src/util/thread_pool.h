@@ -1,0 +1,70 @@
+// Fixed-size worker pool shared by the serving path.
+//
+// Replaces the per-query std::thread scatter of the sharded engine (thread
+// creation costs tens of microseconds — more than a warm shard search) and
+// drives data-parallel build steps (per-term posting sorts, per-shard
+// finalization). Two usage forms:
+//
+//   pool.Submit(fn)        -> std::future (exceptions propagate via get())
+//   pool.ParallelFor(n, f) -> runs f(0..n-1); the *calling* thread also
+//                             executes chunks, so nesting ParallelFor from
+//                             inside a pool task cannot deadlock, and a
+//                             pool of size 0/1 degrades to a plain loop.
+//
+// ParallelFor rethrows the first exception raised by any index (remaining
+// indices may still run). The destructor drains the queue and joins.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dash::util {
+
+class ThreadPool {
+ public:
+  // `num_threads` workers; 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  // Calls fn(i) for every i in [0, n), distributing work across the
+  // workers and the calling thread. Blocks until all indices finished.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Process-wide pool, sized to the hardware. Never use it for tasks that
+  // block indefinitely; ParallelFor and short Submit jobs only.
+  static ThreadPool& Shared();
+
+ private:
+  void Enqueue(std::function<void()> job);
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::queue<std::function<void()>> jobs_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace dash::util

@@ -1,0 +1,81 @@
+// Lookup(string_view) must probe the term dictionary without constructing
+// a temporary std::string: behavior parity with the interned-id path plus
+// an operator-new counter proving the probe itself is allocation-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string_view>
+
+#include "core/crawler.h"
+#include "core/inverted_index.h"
+#include "testing/fooddb.h"
+
+namespace {
+std::atomic<long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocations;
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace dash::core {
+namespace {
+
+FragmentIndexBuild BuildFoodDbIndex() {
+  db::Database db = dash::testing::MakeFoodDb();
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+  return Crawler(db, app.query).BuildIndex();
+}
+
+TEST(LookupAllocation, ParityWithIdPath) {
+  FragmentIndexBuild build = BuildFoodDbIndex();
+  for (const auto& [keyword, df] : build.index.KeywordsByDf()) {
+    auto via_view = build.index.Lookup(std::string_view(keyword));
+    util::TermId id = build.index.FindTerm(keyword);
+    ASSERT_NE(id, util::kInvalidTermId);
+    auto via_id = build.index.LookupId(id);
+    ASSERT_EQ(via_view.size(), df);
+    ASSERT_EQ(via_view.data(), via_id.data());
+    ASSERT_EQ(via_view.size(), via_id.size());
+    EXPECT_DOUBLE_EQ(build.index.Idf(keyword), build.index.IdfId(id));
+  }
+  EXPECT_TRUE(build.index.Lookup("no-such-keyword").empty());
+  EXPECT_EQ(build.index.FindTerm("no-such-keyword"), util::kInvalidTermId);
+  EXPECT_EQ(build.index.Idf("no-such-keyword"), 0.0);
+}
+
+TEST(LookupAllocation, ProbeIsAllocationFree) {
+  FragmentIndexBuild build = BuildFoodDbIndex();
+  constexpr std::string_view kPresent = "burger";
+  constexpr std::string_view kAbsent = "zzz-not-indexed";
+  ASSERT_FALSE(build.index.Lookup(kPresent).empty());
+
+  long before = g_allocations.load();
+  auto hit = build.index.Lookup(kPresent);
+  auto miss = build.index.Lookup(kAbsent);
+  double idf = build.index.Idf(kPresent);
+  long after = g_allocations.load();
+
+  EXPECT_EQ(after, before);
+  EXPECT_FALSE(hit.empty());
+  EXPECT_TRUE(miss.empty());
+  EXPECT_GT(idf, 0.0);
+}
+
+}  // namespace
+}  // namespace dash::core

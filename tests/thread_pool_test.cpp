@@ -1,0 +1,143 @@
+// Thread pool contract: submitted tasks run, ParallelFor covers every
+// index exactly once, exceptions propagate to the caller, and the
+// destructor joins outstanding work. Plus the serving-path invariant the
+// pool must never break: ShardedEngine::Search results are byte-identical
+// whatever the pool size.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/crawler.h"
+#include "core/sharded_engine.h"
+#include "sql/parser.h"
+#include "tpch/tpch.h"
+#include "util/thread_pool.h"
+
+namespace dash {
+namespace {
+
+TEST(ThreadPool, SubmittedTasksRunAndReturnValues) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForWorksWithSingleWorkerAndEmptyRange) {
+  util::ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 0);
+  pool.ParallelFor(7, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 7);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  util::ThreadPool pool(2);
+  auto future = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [](std::size_t i) {
+                                  if (i == 37) {
+                                    throw std::runtime_error("bad index");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool must stay usable after a failed ParallelFor.
+  std::atomic<int> total{0};
+  pool.ParallelFor(10, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, DestructorJoinsOutstandingWork) {
+  std::atomic<int> completed{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ++completed;
+      });
+    }
+  }
+  // Destructor returns only after queued tasks ran to completion.
+  EXPECT_EQ(completed.load(), 8);
+}
+
+webapp::WebAppInfo TpchApp() {
+  webapp::WebAppInfo app;
+  app.name = "Q2";
+  app.uri = "example.com/q2";
+  app.query = sql::Parse(
+      "SELECT * FROM (customer JOIN orders) JOIN lineitem "
+      "WHERE customer.cid = $r AND qty BETWEEN $min AND $max");
+  app.codec =
+      webapp::QueryStringCodec({{"r", "r"}, {"l", "min"}, {"u", "max"}});
+  return app;
+}
+
+TEST(ThreadPool, ShardedSearchIsPoolSizeInvariant) {
+  db::Database db = tpch::Generate(tpch::Scale::kTiny);
+  webapp::WebAppInfo app = TpchApp();
+  auto build_for = [&] { return core::Crawler(db, app.query).BuildIndex(); };
+
+  core::DashEngine probe = core::DashEngine::FromParts(app, build_for());
+  auto by_df = probe.index().KeywordsByDf();
+  ASSERT_FALSE(by_df.empty());
+  const std::vector<std::vector<std::string>> queries = {
+      {by_df.front().first},
+      {by_df[by_df.size() / 2].first},
+      {by_df.front().first, by_df[by_df.size() / 4].first},
+      {by_df.back().first}};
+
+  util::ThreadPool pool1(1), pool2(2), pool8(8);
+  core::ShardedEngine e1(app, build_for(), 4, &pool1);
+  core::ShardedEngine e2(app, build_for(), 4, &pool2);
+  core::ShardedEngine e8(app, build_for(), 4, &pool8);
+
+  for (const auto& keywords : queries) {
+    for (int k : {1, 3, 10}) {
+      auto r1 = e1.Search(keywords, k, 60);
+      auto r2 = e2.Search(keywords, k, 60);
+      auto r8 = e8.Search(keywords, k, 60);
+      ASSERT_EQ(r1.size(), r2.size());
+      ASSERT_EQ(r1.size(), r8.size());
+      for (std::size_t i = 0; i < r1.size(); ++i) {
+        EXPECT_EQ(r1[i].url, r2[i].url);
+        EXPECT_EQ(r1[i].url, r8[i].url);
+        EXPECT_EQ(r1[i].score, r2[i].score);
+        EXPECT_EQ(r1[i].score, r8[i].score);
+        EXPECT_EQ(r1[i].fragments, r2[i].fragments);
+        EXPECT_EQ(r1[i].fragments, r8[i].fragments);
+        EXPECT_EQ(r1[i].size_words, r2[i].size_words);
+        EXPECT_EQ(r1[i].size_words, r8[i].size_words);
+        EXPECT_EQ(r1[i].params, r2[i].params);
+        EXPECT_EQ(r1[i].params, r8[i].params);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dash
