@@ -94,20 +94,41 @@ std::vector<SearchResult> ShardedEngine::Search(
                           shard.selection(), &shard.app(), idf);
     per_shard[s] = searcher.Search(keywords, k, min_page_words);
   });
-  std::vector<SearchResult> merged;
-  for (std::vector<SearchResult>& results : per_shard) {
-    for (SearchResult& r : results) merged.push_back(std::move(r));
+  // Gather: merge by score and keep k. Ties break on the members'
+  // fragment identifiers — shard-local handles are not comparable across
+  // shards, but identifier rows are, and within one shard ascending
+  // handles == ascending identifiers (canonical catalogs). This makes the
+  // merged order identical to what an unsharded searcher reports, URLs
+  // included (distinct member sets can render the same URL).
+  struct Gathered {
+    SearchResult result;
+    std::vector<db::Row> member_ids;
+  };
+  std::vector<Gathered> merged;
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    const FragmentCatalog& catalog = shards_[s].catalog();
+    for (SearchResult& r : per_shard[s]) {
+      Gathered g;
+      g.member_ids.reserve(r.fragments.size());
+      for (FragmentHandle f : r.fragments) g.member_ids.push_back(catalog.id(f));
+      g.result = std::move(r);
+      merged.push_back(std::move(g));
+    }
   }
-  // Gather: merge by score (ties: URL, for determinism) and keep k.
   std::sort(merged.begin(), merged.end(),
-            [](const SearchResult& a, const SearchResult& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.url < b.url;
+            [](const Gathered& a, const Gathered& b) {
+              if (a.result.score != b.result.score) {
+                return a.result.score > b.result.score;
+              }
+              return a.member_ids < b.member_ids;
             });
   if (k >= 0 && merged.size() > static_cast<std::size_t>(k)) {
     merged.resize(static_cast<std::size_t>(k));
   }
-  return merged;
+  std::vector<SearchResult> out;
+  out.reserve(merged.size());
+  for (Gathered& g : merged) out.push_back(std::move(g.result));
+  return out;
 }
 
 }  // namespace dash::core

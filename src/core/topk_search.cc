@@ -503,6 +503,18 @@ std::vector<SearchResult> TopKSearcher::Search(
     }
   }
   for (const Entry& e : queue) release_payload(e.p);
+  // Canonical output order: score descending, ties broken by the member
+  // handle list (ascending handles == ascending identifier order in a
+  // canonical catalog). Pop order alone is not score-sorted — a relevant
+  // neighbor can raise a page's score after lower-scored pages were
+  // output (see the monotonicity note in the header) — and equal scores
+  // would otherwise order by discovery, which differential comparison and
+  // the sharded gather merge both need pinned down.
+  std::stable_sort(results.begin(), results.end(),
+                   [](const SearchResult& a, const SearchResult& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.fragments < b.fragments;
+                   });
   return results;
 }
 

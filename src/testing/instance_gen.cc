@@ -1,0 +1,285 @@
+#include "testing/instance_gen.h"
+
+#include <algorithm>
+
+#include "sql/parser.h"
+
+namespace dash::testing {
+
+namespace {
+
+using db::Column;
+using db::Schema;
+using db::Table;
+using db::Value;
+using db::ValueType;
+
+// Keyword vocabulary for generated text columns. Sampled with a Zipf rank
+// distribution so document frequencies are skewed (hot and cold keywords,
+// like the evaluation datasets).
+const std::vector<std::string>& Vocab() {
+  static const std::vector<std::string> words = {
+      "amber",  "basil",  "cedar",  "delta",  "ember",  "fjord",  "grove",
+      "heath",  "inlet",  "juniper", "kelp",  "lotus",  "maple",  "nectar",
+      "onyx",   "poplar", "quartz", "reed",   "sage",   "tundra", "umber",
+      "violet", "willow", "xenon",  "yarrow", "zephyr", "birch",  "clover"};
+  return words;
+}
+
+const util::ZipfSampler& VocabSampler() {
+  static const util::ZipfSampler sampler(Vocab().size(), 1.07);
+  return sampler;
+}
+
+std::string ZipfText(util::SplitMix64& rng, int min_words, int max_words) {
+  int n = static_cast<int>(rng.Range(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (!out.empty()) out += ' ';
+    out += Vocab()[VocabSampler().Sample(rng)];
+  }
+  return out;
+}
+
+// Where one selection attribute lives: the qualified column plus the table
+// index, so predicates can be rendered and summarized.
+struct AttrPick {
+  int table = 0;
+  std::string column;  // qualified, e.g. "t1.num1"
+};
+
+}  // namespace
+
+RandomInstance GenerateInstance(std::uint64_t seed,
+                                const GenOptions& options) {
+  // Offset the raw seed so seed 0/1/2 don't share SplitMix64 prefixes with
+  // other generator users.
+  util::SplitMix64 rng(seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  RandomInstance inst;
+  inst.seed = seed;
+
+  int num_tables =
+      options.force_tables >= 0
+          ? options.force_tables
+          : static_cast<int>(
+                rng.Range(options.min_tables, options.max_tables));
+  num_tables = std::max(num_tables, 2);
+
+  // Selection shape: at least one attribute overall.
+  int num_eq = options.force_eq >= 0 ? options.force_eq
+                                     : static_cast<int>(rng.Range(0, 2));
+  int num_range = options.force_range >= 0 ? options.force_range
+                                           : static_cast<int>(rng.Range(0, 2));
+  if (num_eq + num_range == 0) {
+    (rng.Next() & 1) ? num_eq = 1 : num_range = 1;
+  }
+  inst.num_eq = static_cast<std::size_t>(num_eq);
+  inst.num_range = static_cast<std::size_t>(num_range);
+
+  bool outer = options.force_outer >= 0 ? options.force_outer != 0
+                                        : rng.NextDouble() < 0.25;
+  // A left-outer root only pads rows when the whole inner side is one join
+  // subtree, so the outer shape forces right-nesting (like fooddb's
+  // restaurant LEFT JOIN (comment JOIN customer)).
+  bool nested = outer || rng.NextDouble() < 0.4;
+
+  // Value cardinalities: small on purpose, so selection groups collide and
+  // fragments merge rows.
+  int eq_card = static_cast<int>(rng.Range(1, 3));
+  int range_card = static_cast<int>(rng.Range(2, 5));
+
+  // Attribute placement: equality attributes on distinct tables (cat<i>
+  // columns), range attributes on distinct tables (num<i> columns).
+  std::vector<AttrPick> eq_attrs, range_attrs;
+  {
+    std::vector<int> tables(static_cast<std::size_t>(num_tables));
+    for (int i = 0; i < num_tables; ++i) tables[static_cast<std::size_t>(i)] = i;
+    // Deterministic shuffle.
+    for (std::size_t i = tables.size(); i > 1; --i) {
+      std::swap(tables[i - 1], tables[rng.Below(i)]);
+    }
+    for (int j = 0; j < num_eq; ++j) {
+      int t = tables[static_cast<std::size_t>(j) % tables.size()];
+      eq_attrs.push_back(
+          {t, "t" + std::to_string(t) + ".cat" + std::to_string(t)});
+    }
+    for (std::size_t i = tables.size(); i > 1; --i) {
+      std::swap(tables[i - 1], tables[rng.Below(i)]);
+    }
+    for (int j = 0; j < num_range; ++j) {
+      int t = tables[static_cast<std::size_t>(j) % tables.size()];
+      range_attrs.push_back(
+          {t, "t" + std::to_string(t) + ".num" + std::to_string(t)});
+    }
+  }
+
+  // ---- Tables: t0 <- t1 <- t2 <- t3 foreign-key chain. ----
+  std::vector<std::vector<std::int64_t>> ids(
+      static_cast<std::size_t>(num_tables));
+  for (int t = 0; t < num_tables; ++t) {
+    std::string tn = "t" + std::to_string(t);
+    std::string suffix = std::to_string(t);
+    Schema schema({{tn, "id" + suffix, ValueType::kInt}});
+    if (t > 0) schema.AddColumn({tn, "p" + suffix, ValueType::kInt});
+    schema.AddColumn({tn, "cat" + suffix, ValueType::kString});
+    schema.AddColumn({tn, "num" + suffix, ValueType::kInt});
+    schema.AddColumn({tn, "txt" + suffix, ValueType::kString});
+    bool has_val = rng.NextDouble() < 0.3;
+    if (has_val) schema.AddColumn({tn, "val" + suffix, ValueType::kDouble});
+    Table table(tn, schema);
+
+    int rows;
+    if (t == 0 && options.empty_root) {
+      rows = 0;
+    } else if (t != 0 && rng.NextDouble() < 0.05) {
+      rows = 0;  // occasional empty inner table
+    } else {
+      rows = static_cast<int>(rng.Range(2, options.max_rows_per_table));
+    }
+    for (int r = 0; r < rows; ++r) {
+      std::int64_t id = t * 100 + r + 1;
+      ids[static_cast<std::size_t>(t)].push_back(id);
+      db::Row row;
+      row.push_back(Value(id));
+      if (t > 0) {
+        const auto& parents = ids[static_cast<std::size_t>(t - 1)];
+        // Occasionally dangling: no matching parent (dropped by an inner
+        // join, never padded — padding comes from childless parents).
+        std::int64_t p = parents.empty() || rng.NextDouble() < 0.1
+                             ? (t - 1) * 100 + 9999
+                             : parents[rng.Below(parents.size())];
+        row.push_back(Value(p));
+      }
+      row.push_back(Value("c" + std::string(1, static_cast<char>(
+                                    'a' + rng.Below(
+                                              static_cast<std::uint64_t>(
+                                                  eq_card))))));
+      row.push_back(Value(rng.Range(0, range_card - 1)));
+      row.push_back(Value(ZipfText(rng, 1, 4)));
+      if (has_val) {
+        row.push_back(Value(static_cast<double>(rng.Range(10, 99)) / 10.0));
+      }
+      table.AddRow(std::move(row));
+    }
+    inst.db.AddTable(std::move(table));
+    if (t > 0) {
+      inst.db.AddForeignKey({"t" + std::to_string(t), "p" + std::to_string(t),
+                             "t" + std::to_string(t - 1),
+                             "id" + std::to_string(t - 1)});
+    }
+  }
+
+  // ---- The PSJ query (rendered as SQL so it round-trips through the
+  // parser, exactly like index_io persistence does). ----
+  std::string from;
+  if (nested) {
+    // t0 [LEFT] JOIN (t1 JOIN t2 JOIN ...).
+    from = "t0 ";
+    from += outer ? "LEFT JOIN " : "JOIN ";
+    from += "(t1";
+    for (int t = 2; t < num_tables; ++t) from += " JOIN t" + std::to_string(t);
+    from += ")";
+  } else {
+    from = "t0";
+    for (int t = 1; t < num_tables; ++t) from += " JOIN t" + std::to_string(t);
+  }
+
+  std::string select = "*";
+  if (rng.NextDouble() < 0.3) {
+    // Random column subset; always keep every text column so most
+    // fragments carry vocabulary keywords.
+    std::vector<std::string> cols;
+    for (int t = 0; t < num_tables; ++t) {
+      const Schema& schema = inst.db.table("t" + std::to_string(t)).schema();
+      for (const Column& c : schema.columns()) {
+        if (c.name.rfind("txt", 0) == 0 || rng.NextDouble() < 0.4) {
+          cols.push_back(c.Qualified());
+        }
+      }
+    }
+    select.clear();
+    for (const std::string& c : cols) {
+      if (!select.empty()) select += ", ";
+      select += c;
+    }
+  }
+
+  std::vector<webapp::ParamBinding> bindings;
+  std::string where;
+  char url_field = 'a';
+  auto add_param = [&](const std::string& param) {
+    bindings.push_back({std::string(1, url_field++), param});
+  };
+  for (int j = 0; j < num_eq; ++j) {
+    if (!where.empty()) where += " AND ";
+    std::string param = "e" + std::to_string(j);
+    where += eq_attrs[static_cast<std::size_t>(j)].column + " = $" + param;
+    add_param(param);
+  }
+  for (int j = 0; j < num_range; ++j) {
+    if (!where.empty()) where += " AND ";
+    std::string lo = "r" + std::to_string(j) + "lo";
+    std::string hi = "r" + std::to_string(j) + "hi";
+    where += range_attrs[static_cast<std::size_t>(j)].column + " BETWEEN $" +
+             lo + " AND $" + hi;
+    add_param(lo);
+    add_param(hi);
+  }
+
+  inst.app.name = "Fuzz" + std::to_string(seed);
+  inst.app.uri = "fuzz.example/app";
+  inst.app.query =
+      sql::Parse("SELECT " + select + " FROM " + from + " WHERE " + where);
+  inst.app.codec = webapp::QueryStringCodec(std::move(bindings));
+
+  inst.summary = "seed=" + std::to_string(seed) +
+                 " tables=" + std::to_string(num_tables) +
+                 " eq=" + std::to_string(num_eq) +
+                 " range=" + std::to_string(num_range) +
+                 (outer ? " outer" : "") + (nested ? " nested" : " leftdeep") +
+                 " rows=[";
+  for (int t = 0; t < num_tables; ++t) {
+    if (t > 0) inst.summary += ",";
+    inst.summary += std::to_string(
+        inst.db.table("t" + std::to_string(t)).row_count());
+  }
+  inst.summary += "]";
+  return inst;
+}
+
+std::vector<std::string> SampleKeywords(util::SplitMix64& rng) {
+  std::vector<std::string> keywords;
+  int n = rng.NextDouble() < 0.7 ? 1 : 2;
+  for (int i = 0; i < n; ++i) {
+    double p = rng.NextDouble();
+    if (p < 0.8) {
+      keywords.push_back(Vocab()[VocabSampler().Sample(rng)]);
+    } else if (p < 0.9) {
+      // Numeric token: ids and range values are projected text too.
+      keywords.push_back(std::to_string(rng.Below(130)));
+    } else {
+      keywords.push_back("zzznope");  // never indexed
+    }
+  }
+  return keywords;
+}
+
+std::string DumpInstance(const RandomInstance& inst) {
+  std::string out = "-- " + inst.summary + "\n";
+  out += "-- query: " + inst.app.query.ToString() + "\n";
+  for (const std::string& name : inst.db.TableNames()) {
+    const Table& table = inst.db.table(name);
+    out += name + "(" + table.schema().ToString() + ")\n";
+    for (const db::Row& row : table.rows()) {
+      std::string line;
+      for (const Value& v : row) {
+        if (!line.empty()) line += "\t";
+        line += v.ToString();
+      }
+      out += "  " + line + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace dash::testing

@@ -1,0 +1,61 @@
+// Seeded random-instance generator for the differential fuzzing harness.
+//
+// An *instance* is everything the oracles (testing/oracles.h) need to
+// cross-check Dash end to end: a database with a 2–4-table foreign-key
+// join chain, populated with a Zipf-skewed keyword vocabulary, and a web
+// application whose parameterized PSJ query mixes equality and range
+// selection attributes. Generation is fully deterministic in the seed
+// (util::SplitMix64 only, no std:: distributions), so `dash_fuzz --seed N`
+// replays a failure exactly.
+//
+// Instances are deliberately small (tens of rows): every oracle includes a
+// brute-force path (page materialization, O(n^3) graph combinability), and
+// thousands of seeds must run in seconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "util/random.h"
+#include "webapp/query_string.h"
+
+namespace dash::testing {
+
+struct GenOptions {
+  int min_tables = 2;
+  int max_tables = 4;
+  int max_rows_per_table = 14;
+  // Shape-forcing knobs for directed tests (negative = choose randomly).
+  int force_tables = -1;  // exact number of relations in the join chain
+  int force_eq = -1;      // exact number of equality selection attributes
+  int force_range = -1;   // exact number of range selection attributes
+  int force_outer = -1;   // 1 = root join LEFT OUTER, 0 = all inner
+  bool empty_root = false;  // root relation gets zero rows (edge case)
+};
+
+// One generated fuzzing instance.
+struct RandomInstance {
+  std::uint64_t seed = 0;
+  db::Database db;
+  webapp::WebAppInfo app;
+  std::size_t num_eq = 0;     // equality selection attributes
+  std::size_t num_range = 0;  // range selection attributes
+  std::string summary;        // one-line shape description for reports
+};
+
+RandomInstance GenerateInstance(std::uint64_t seed,
+                                const GenOptions& options = {});
+
+// Keywords for one random query against `inst`: drawn from the generator
+// vocabulary (mostly hits, skewed toward hot words), occasionally a numeric
+// token or an unknown word.
+std::vector<std::string> SampleKeywords(util::SplitMix64& rng);
+
+// Tab-separated dump of the query and every table (schema + rows), printed
+// alongside a shrunken failing instance so mismatches are inspectable
+// without re-running the generator.
+std::string DumpInstance(const RandomInstance& inst);
+
+}  // namespace dash::testing

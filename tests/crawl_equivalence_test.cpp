@@ -8,6 +8,7 @@
 #include "core/mr_crawl.h"
 #include "sql/parser.h"
 #include "testing/fooddb.h"
+#include "testing/instance_gen.h"
 #include "tpch/tpch.h"
 
 namespace dash::core {
@@ -113,6 +114,74 @@ INSTANTIATE_TEST_SUITE_P(
       return std::get<0>(info.param).name + "_r" +
              std::to_string(std::get<1>(info.param));
     });
+
+// The same equivalence on generator-produced instances (the fuzzing
+// harness's instance space), pinning shapes the fixed workloads above
+// don't cover by construction: a four-relation FK chain, range-only
+// selection, and an empty root relation (every fragment comes from
+// nothing — both pipelines must agree on the empty index too).
+class GeneratedCrawlEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, dash::testing::GenOptions, std::uint64_t>> {
+};
+
+TEST_P(GeneratedCrawlEquivalenceTest, StepwiseAndIntegratedMatchReference) {
+  const auto& [name, options, seed] = GetParam();
+  dash::testing::RandomInstance inst =
+      dash::testing::GenerateInstance(seed, options);
+  SCOPED_TRACE(inst.summary);
+
+  FragmentIndexBuild reference = Crawler(inst.db, inst.app.query).BuildIndex();
+
+  mr::ClusterConfig config;
+  config.block_size_bytes = 4 << 10;
+  for (int reduce_tasks : {1, 3}) {
+    CrawlOptions crawl_options;
+    crawl_options.num_reduce_tasks = reduce_tasks;
+    mr::Cluster sw_cluster(config);
+    CrawlResult sw =
+        StepwiseCrawl(sw_cluster, inst.db, inst.app.query, crawl_options);
+    mr::Cluster int_cluster(config);
+    CrawlResult integrated =
+        IntegratedCrawl(int_cluster, inst.db, inst.app.query, crawl_options);
+
+    EXPECT_EQ(CatalogFingerprint(sw.build), CatalogFingerprint(reference));
+    EXPECT_EQ(CatalogFingerprint(integrated.build),
+              CatalogFingerprint(reference));
+    EXPECT_EQ(IndexFingerprint(sw.build), IndexFingerprint(reference));
+    EXPECT_EQ(IndexFingerprint(integrated.build),
+              IndexFingerprint(reference));
+  }
+}
+
+dash::testing::GenOptions ChainOptions() {
+  dash::testing::GenOptions options;
+  options.force_tables = 4;
+  return options;
+}
+
+dash::testing::GenOptions RangeOnlyOptions() {
+  dash::testing::GenOptions options;
+  options.force_eq = 0;
+  options.force_range = 2;
+  return options;
+}
+
+dash::testing::GenOptions EmptyRootOptions() {
+  dash::testing::GenOptions options;
+  options.empty_root = true;
+  return options;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeneratedInstances, GeneratedCrawlEquivalenceTest,
+    ::testing::Values(
+        std::make_tuple(std::string("chain4"), ChainOptions(), 11ull),
+        std::make_tuple(std::string("range_only"), RangeOnlyOptions(), 12ull),
+        std::make_tuple(std::string("empty_root"), EmptyRootOptions(), 13ull)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<std::string, dash::testing::GenOptions, std::uint64_t>>&
+           info) { return std::get<0>(info.param); });
 
 TEST(CrawlPhases, StepwiseReportsThreePhases) {
   db::Database db = dash::testing::MakeFoodDb();

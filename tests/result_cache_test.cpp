@@ -4,6 +4,7 @@
 
 #include <thread>
 
+#include "core/index_update.h"
 #include "core/result_cache.h"
 #include "testing/fooddb.h"
 #include "tpch/tpch.h"
@@ -73,6 +74,48 @@ TEST(ResultCache, InvalidateDropsEverything) {
   // Re-inserting under the new generation works.
   cache.Insert({"a"}, 1, 1, {});
   EXPECT_TRUE(cache.Lookup({"a"}, 1, 1).has_value());
+}
+
+// The serving-path hazard the generation counter exists for: after an
+// incremental index update changes a fragment, a cached top-k is stale —
+// still served until OnIndexChanged, dropped afterwards.
+TEST(ResultCache, InvalidationAfterIndexUpdate) {
+  webapp::WebAppInfo app = dash::testing::MakeSearchApp();
+  UpdatableIndex updatable(dash::testing::MakeFoodDb(), app.query);
+  DashEngine engine = DashEngine::FromParts(app, updatable.CopyBuild());
+  CachingEngine caching(engine, 16);
+
+  auto before = caching.Search({"burger"}, 3, 0);
+  ASSERT_FALSE(before.empty());
+  double stale_top_score = before[0].score;
+
+  // A new glowing burger review for Bond's Cafe changes the (American, 9)
+  // fragment's statistics and the global df of "burger".
+  updatable.Insert("comment",
+                   {db::Value(207), db::Value(7), db::Value(109),
+                    db::Value("burger burger burger"), db::Value("07/11")});
+  engine = DashEngine::FromParts(app, updatable.CopyBuild());
+
+  // Without the invalidation hook the cache still answers from the old
+  // index: a hit, byte-for-byte the pre-update results.
+  auto stale = caching.Search({"burger"}, 3, 0);
+  EXPECT_EQ(caching.cache().stats().hits, 1u);
+  ASSERT_EQ(stale.size(), before.size());
+  EXPECT_DOUBLE_EQ(stale[0].score, stale_top_score);
+
+  // After OnIndexChanged the same query misses and recomputes against the
+  // updated index, matching an uncached search exactly.
+  caching.OnIndexChanged();
+  auto fresh = caching.Search({"burger"}, 3, 0);
+  EXPECT_EQ(caching.cache().stats().misses, 2u);
+  auto expected = engine.Search({"burger"}, 3, 0);
+  ASSERT_EQ(fresh.size(), expected.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(fresh[i].url, expected[i].url);
+    EXPECT_DOUBLE_EQ(fresh[i].score, expected[i].score);
+  }
+  // And the update genuinely moved the needle (the stale hit mattered).
+  EXPECT_NE(fresh[0].score, stale_top_score);
 }
 
 TEST(ResultCache, ZeroCapacityNeverStores) {

@@ -121,6 +121,45 @@ TEST(ShardedEngine, ResultsSortedByScore) {
   }
 }
 
+// Tied scores must merge in the same order an unsharded searcher reports:
+// by fragment identifier, which is comparable across shards (shard-local
+// handles are not).
+TEST(ShardedEngine, TiedScoresMergeInIdentifierOrder) {
+  db::Schema schema({{"items", "id", db::ValueType::kInt},
+                     {"items", "cat", db::ValueType::kString},
+                     {"items", "txt", db::ValueType::kString}});
+  db::Table items("items", schema);
+  for (int i = 0; i < 6; ++i) {
+    // Six one-fragment equality groups with identical "amber" statistics,
+    // spread across shards by the group hash.
+    items.AddRow({1 + i, "g" + std::to_string(i), "amber amber"});
+  }
+  db::Database db;
+  db.AddTable(std::move(items));
+
+  webapp::WebAppInfo app;
+  app.name = "Tie";
+  app.uri = "example.com/tie";
+  app.query = sql::Parse("SELECT * FROM items WHERE items.cat = $cat");
+  app.codec =
+      webapp::QueryStringCodec(std::vector<webapp::ParamBinding>{{"c", "cat"}});
+
+  DashEngine single = DashEngine::FromParts(app, BuildFor(db, app));
+  auto expected = single.Search({"amber"}, 6, 0);
+  ASSERT_EQ(expected.size(), 6u);
+
+  for (int shards : {2, 3, 5}) {
+    ShardedEngine sharded(app, BuildFor(db, app), shards);
+    auto results = sharded.Search({"amber"}, 6, 0);
+    ASSERT_EQ(results.size(), 6u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].url, expected[i].url)
+          << shards << " shards, rank " << i;
+      EXPECT_DOUBLE_EQ(results[i].score, expected[i].score);
+    }
+  }
+}
+
 TEST(ShardedEngine, SingleShardDegenerate) {
   db::Database db = dash::testing::MakeFoodDb();
   webapp::WebAppInfo app = dash::testing::MakeSearchApp();

@@ -143,6 +143,53 @@ TEST_F(TopKTest, ResultFragmentsDisjointAcrossResults) {
   }
 }
 
+// ---------- Deterministic ordering on score ties ----------
+
+// Fragments with identical keyword statistics score identically; the
+// output order must then be pinned by the fragment identifiers (ascending
+// handles in a canonical catalog), not by queue discovery order —
+// differential comparison against an independent oracle and the sharded
+// gather merge both rely on this total order.
+TEST(TopKTieBreak, TiedScoresOrderByFragmentId) {
+  db::Schema schema({{"items", "id", db::ValueType::kInt},
+                     {"items", "cat", db::ValueType::kString},
+                     {"items", "txt", db::ValueType::kString}});
+  db::Table items("items", schema);
+  // Same "amber" statistics in every fragment (2 occurrences of 4 words);
+  // inserted in non-identifier order on purpose.
+  items.AddRow({1, "mid", "amber amber"});
+  items.AddRow({2, "zed", "amber amber"});
+  items.AddRow({3, "ace", "amber amber"});
+  db::Database db;
+  db.AddTable(std::move(items));
+
+  webapp::WebAppInfo app;
+  app.name = "Tie";
+  app.uri = "example.com/tie";
+  app.query = sql::Parse("SELECT * FROM items WHERE items.cat = $cat");
+  app.codec =
+      webapp::QueryStringCodec(std::vector<webapp::ParamBinding>{{"c", "cat"}});
+
+  BuildOptions options;
+  options.algorithm = CrawlAlgorithm::kReference;
+  DashEngine engine = DashEngine::Build(db, app, options);
+
+  auto results = engine.Search({"amber"}, 3, 0);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_DOUBLE_EQ(results[0].score, results[1].score);
+  EXPECT_DOUBLE_EQ(results[1].score, results[2].score);
+  EXPECT_EQ(results[0].url, "example.com/tie?c=ace");
+  EXPECT_EQ(results[1].url, "example.com/tie?c=mid");
+  EXPECT_EQ(results[2].url, "example.com/tie?c=zed");
+
+  // Stable across repeated searches (no per-query state leaks into order).
+  auto again = engine.Search({"amber"}, 3, 0);
+  ASSERT_EQ(again.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(again[i].url, results[i].url);
+  }
+}
+
 // ---------- TPC-H workload sanity ----------
 
 class TpchTopKTest : public ::testing::Test {
