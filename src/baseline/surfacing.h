@@ -23,6 +23,14 @@
 //
 // bench_surfacing compares both against Dash's database crawling, which
 // touches every fragment exactly once by construction.
+//
+// Concurrency audit (analyze preset / dash_lint): SurfaceDbPages is a pure
+// function of (db, app, options) with no shared mutable state — the probe
+// dictionaries are constexpr, the RNG is a stack-local SplitMix64 seeded
+// from options.seed, and all accounting lives in locals. It is safe to run
+// concurrent surfacing crawls with distinct reports; nothing here may grow
+// namespace-scope mutable state without a dash::Mutex + DASH_GUARDED_BY
+// (dash_lint rule global-state).
 #pragma once
 
 #include <cstdint>

@@ -225,9 +225,12 @@ void FinalizeBuild(FragmentIndexBuild* build) {
 
 CrawlPhase SnapshotPhase(const mr::Cluster& cluster, std::size_t begin,
                          std::string name) {
-  std::vector<mr::JobMetrics> jobs(cluster.history().begin() +
-                                       static_cast<std::ptrdiff_t>(begin),
-                                   cluster.history().end());
+  // history() returns a snapshot by value (the live vector is guarded by
+  // the cluster's mutex); take it once — mixing begin()/end() from two
+  // separate calls would pair iterators of different temporaries.
+  std::vector<mr::JobMetrics> history = cluster.history();
+  std::vector<mr::JobMetrics> jobs(
+      history.begin() + static_cast<std::ptrdiff_t>(begin), history.end());
   CrawlPhase phase;
   phase.metrics = mr::SumMetrics(jobs, name);
   phase.name = std::move(name);

@@ -20,7 +20,7 @@ std::optional<std::vector<SearchResult>> ResultCache::Lookup(
     const std::vector<std::string>& keywords, int k,
     std::uint64_t min_page_words) {
   std::string key = MakeKey(keywords, k, min_page_words);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = map_.find(key);
   if (it == map_.end() || it->second->generation != generation_) {
     ++stats_.misses;
@@ -40,7 +40,7 @@ void ResultCache::Insert(const std::vector<std::string>& keywords, int k,
                          std::vector<SearchResult> results) {
   if (capacity_ == 0) return;
   std::string key = MakeKey(keywords, k, min_page_words);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = map_.find(key);
   if (it != map_.end()) {
     lru_.erase(it->second);
@@ -55,17 +55,17 @@ void ResultCache::Insert(const std::vector<std::string>& keywords, int k,
 }
 
 void ResultCache::Invalidate() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   ++generation_;
 }
 
 std::size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return lru_.size();
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return stats_;
 }
 

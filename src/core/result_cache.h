@@ -10,13 +10,14 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/dash_engine.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dash::core {
 
@@ -61,12 +62,14 @@ class ResultCache {
   static std::string MakeKey(const std::vector<std::string>& keywords, int k,
                              std::uint64_t min_page_words);
 
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::uint64_t generation_ = 0;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
-  Stats stats_;
+  mutable util::Mutex mutex_;
+  const std::size_t capacity_;  // immutable after construction: no lock
+  std::uint64_t generation_ DASH_GUARDED_BY(mutex_) = 0;
+  // front = most recent
+  std::list<Entry> lru_ DASH_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_
+      DASH_GUARDED_BY(mutex_);
+  Stats stats_ DASH_GUARDED_BY(mutex_);
 };
 
 // A DashEngine paired with a ResultCache: the drop-in serving wrapper.

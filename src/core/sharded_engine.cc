@@ -55,6 +55,14 @@ ShardedEngine::ShardedEngine(webapp::WebAppInfo app, FragmentIndexBuild build,
   }
   // Finalize + graph construction are per-shard independent: scatter the
   // build work, then assemble shards_ in index order (determinism).
+  //
+  // Concurrency invariant (checked by inspection, enforced by tsan + the
+  // thread_pool_test byte-identity suite rather than a lock): each pool
+  // task s writes only built[s] and parts[s] — disjoint slots in vectors
+  // sized before the scatter — and ParallelFor's join is the only reader
+  // barrier. No mutex, so there is nothing for -Wthread-safety to prove
+  // here; keep it that way (adding cross-slot writes would need a
+  // dash::Mutex + GUARDED_BY).
   std::vector<std::unique_ptr<DashEngine>> built(n);
   this->pool().ParallelFor(n, [&](std::size_t s) {
     parts[s].index.Finalize(&parts[s].catalog);
@@ -87,6 +95,8 @@ std::vector<SearchResult> ShardedEngine::Search(
   // Scatter: every shard computes its local top-k with global scoring, on
   // the persistent pool (each shard's index is independent and searching
   // is const; per_shard slots make the gather order thread-count-free).
+  // Same disjoint-slot invariant as the build phase: task s writes only
+  // per_shard[s], ParallelFor joins before the gather reads.
   std::vector<std::vector<SearchResult>> per_shard(shards_.size());
   pool().ParallelFor(shards_.size(), [&](std::size_t s) {
     const DashEngine& shard = shards_[s];

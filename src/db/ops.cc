@@ -160,21 +160,26 @@ Table GroupCount(const Table& in, const std::vector<std::string>& group_cols,
 
   std::unordered_map<Row, std::int64_t, RowHash> counts;
   counts.reserve(in.row_count());
-  std::vector<Row> order;  // first-seen order for deterministic output
+  // First-seen order for deterministic output. Pointers into the map stay
+  // valid across rehash (unordered_map never relocates nodes), so each key
+  // is stored exactly once and copied exactly once into the output row.
+  std::vector<const std::pair<const Row, std::int64_t>*> order;
   for (const Row& r : in.rows()) {
     Row key;
     key.reserve(idx.size());
     for (int i : idx) key.push_back(r[static_cast<std::size_t>(i)]);
-    auto [it, inserted] = counts.emplace(key, 0);
-    if (inserted) order.push_back(key);
+    auto [it, inserted] = counts.emplace(std::move(key), 0);
+    if (inserted) order.push_back(&*it);
     ++it->second;
   }
 
   Table out(result_name.empty() ? in.name() + "_counts" : std::move(result_name),
             Schema(std::move(cols)));
-  for (Row& key : order) {
-    Row row = key;
-    row.push_back(Value(counts[key]));
+  for (const auto* group : order) {
+    Row row;
+    row.reserve(group->first.size() + 1);
+    row.insert(row.end(), group->first.begin(), group->first.end());
+    row.push_back(Value(group->second));
     out.AddRow(std::move(row));
   }
   return out;

@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
 
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -86,39 +84,6 @@ class VectorEmitter : public Emitter {
   Dataset records_;
 };
 
-// Runs `fn(i)` for i in [0, n) on up to `workers` threads. Exceptions from
-// tasks are rethrown on the calling thread.
-void ParallelFor(int workers, int n, const std::function<void(int)>& fn) {
-  if (n <= 0) return;
-  int threads = std::min(workers, n);
-  if (threads <= 1) {
-    for (int i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::atomic<int> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  auto worker = [&] {
-    while (true) {
-      int i = next.fetch_add(1);
-      if (i >= n || failed.load()) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!failed.exchange(true)) error = std::current_exception();
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
-}
-
 // Groups a sorted run of records by key and feeds each group to `reducer`.
 void ReducePartition(Dataset&& partition, Reducer& reducer, Emitter& out) {
   // Stable sort by key keeps values in arrival (map-task, emission) order —
@@ -148,6 +113,40 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   if (config_.block_size_bytes == 0) {
     throw std::invalid_argument("block size must be positive");
   }
+  // Persistent worker pool instead of per-phase std::thread spawning: a
+  // job chain (crawl -> index -> update) launches many small phases, and
+  // thread creation was a measurable fixed cost on each. The calling
+  // thread participates in ParallelFor, so num_nodes - 1 workers give
+  // exactly num_nodes-way task parallelism.
+  if (config_.num_nodes > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(config_.num_nodes - 1));
+  }
+}
+
+void Cluster::RunTasks(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (!pool_) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool_->ParallelFor(static_cast<std::size_t>(n),
+                     [&fn](std::size_t i) { fn(static_cast<int>(i)); });
+}
+
+std::vector<JobMetrics> Cluster::history() const {
+  util::MutexLock lock(mutex_);
+  return history_;
+}
+
+void Cluster::ClearHistory() {
+  util::MutexLock lock(mutex_);
+  history_.clear();
+}
+
+JobMetrics Cluster::Totals() const {
+  util::MutexLock lock(mutex_);
+  return SumMetrics(history_);
 }
 
 Dataset Cluster::Run(const JobConfig& job, const Dataset& input,
@@ -183,13 +182,17 @@ Dataset Cluster::Run(const JobConfig& job, const Dataset& input,
   }
   metrics.map_tasks = splits.size();
 
-  const std::uint64_t job_seq = history_.size();
+  std::uint64_t job_seq;
+  {
+    util::MutexLock lock(mutex_);
+    job_seq = history_.size();
+  }
   std::atomic<std::uint64_t> retries{0};
 
   // ---- Map phase. ----
   util::Stopwatch watch;
   std::vector<std::vector<Dataset>> task_parts(splits.size());
-  ParallelFor(config_.num_nodes, static_cast<int>(splits.size()), [&](int t) {
+  RunTasks(static_cast<int>(splits.size()), [&](int t) {
     retries.fetch_add(FailedAttempts(config_, job_seq, /*is_map=*/true,
                                      static_cast<std::uint64_t>(t), job.name));
     auto [begin, end] = splits[static_cast<std::size_t>(t)];
@@ -231,7 +234,7 @@ Dataset Cluster::Run(const JobConfig& job, const Dataset& input,
   // ---- Reduce phase. ----
   watch.Restart();
   std::vector<Dataset> outputs(static_cast<std::size_t>(num_reducers));
-  ParallelFor(config_.num_nodes, num_reducers, [&](int p) {
+  RunTasks(num_reducers, [&](int p) {
     retries.fetch_add(FailedAttempts(config_, job_seq, /*is_map=*/false,
                                      static_cast<std::uint64_t>(p), job.name));
     VectorEmitter emitter;
@@ -251,7 +254,10 @@ Dataset Cluster::Run(const JobConfig& job, const Dataset& input,
       result.push_back(std::move(r));
     }
   }
-  history_.push_back(metrics);
+  {
+    util::MutexLock lock(mutex_);
+    history_.push_back(metrics);
+  }
   return result;
 }
 

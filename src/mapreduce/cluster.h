@@ -21,6 +21,9 @@
 
 #include "mapreduce/metrics.h"
 #include "mapreduce/record.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
 
 namespace dash::mr {
 
@@ -79,21 +82,34 @@ class Cluster {
   explicit Cluster(ClusterConfig config = {});
 
   // Runs one MR job. `combiner` may be null. Returns the reduce output and
-  // appends this job's metrics to history().
+  // appends this job's metrics to history(). Safe to call from several
+  // threads (each job's tasks still fan out over the cluster's own pool);
+  // concurrent jobs append to the history in completion order.
   Dataset Run(const JobConfig& job, const Dataset& input,
               const MapperFactory& mapper, const ReducerFactory& reducer,
               const ReducerFactory& combiner = nullptr);
 
   const ClusterConfig& config() const { return config_; }
-  const std::vector<JobMetrics>& history() const { return history_; }
-  void ClearHistory() { history_.clear(); }
+
+  // Snapshot of the per-job metrics since the last ClearHistory().
+  std::vector<JobMetrics> history() const DASH_EXCLUDES(mutex_);
+  void ClearHistory() DASH_EXCLUDES(mutex_);
 
   // Sum of all job metrics since the last ClearHistory().
-  JobMetrics Totals() const { return SumMetrics(history_); }
+  JobMetrics Totals() const DASH_EXCLUDES(mutex_);
 
  private:
+  // Runs fn(0..n-1) across the cluster's worker pool (serial when the
+  // cluster has a single node).
+  void RunTasks(int n, const std::function<void(int)>& fn);
+
   ClusterConfig config_;
-  std::vector<JobMetrics> history_;
+  mutable util::Mutex mutex_;
+  std::vector<JobMetrics> history_ DASH_GUARDED_BY(mutex_);
+  // num_nodes - 1 workers; the thread calling Run() acts as the last node
+  // (ThreadPool::ParallelFor always drains on the caller too). Null when
+  // num_nodes == 1.
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 // Convenience mappers/reducers used by several job chains.

@@ -2,13 +2,22 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dash::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
-std::mutex g_mutex;
+
+// Guards the sink registry and serializes emission (interleaving-free
+// stderr lines, and sinks observe messages in a total order).
+Mutex g_mutex;
+std::vector<std::pair<int, LogSink>> g_sinks DASH_GUARDED_BY(g_mutex);
+int g_next_sink_id DASH_GUARDED_BY(g_mutex) = 1;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -30,10 +39,33 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+int AddLogSink(LogSink sink) {
+  MutexLock lock(g_mutex);
+  int id = g_next_sink_id++;
+  g_sinks.emplace_back(id, std::move(sink));
+  return id;
+}
+
+void RemoveLogSink(int id) {
+  MutexLock lock(g_mutex);
+  for (auto it = g_sinks.begin(); it != g_sinks.end(); ++it) {
+    if (it->first == id) {
+      g_sinks.erase(it);
+      return;
+    }
+  }
+}
+
+std::size_t LogSinkCount() {
+  MutexLock lock(g_mutex);
+  return g_sinks.size();
+}
+
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  for (const auto& [id, sink] : g_sinks) sink(level, message);
 }
 
 }  // namespace dash::util

@@ -1,7 +1,13 @@
 // Minimal leveled logging. Off by default so tests and benches stay quiet;
 // examples flip the level to Info to narrate the pipeline.
+//
+// Besides stderr, messages can be fanned out to registered sinks (a server
+// would hook its access log or a metrics counter here). The sink registry
+// is shared mutable state guarded by an internal Mutex; registration and
+// emission are thread-safe.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,7 +19,22 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Emits one line to stderr as "[LEVEL] message" when enabled.
+// Called for every emitted message (after the level filter) with the level
+// and the unformatted message text. Sinks run under the registry lock, in
+// registration order: keep them fast and never log from inside one.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+// Registers a sink; returns an id for RemoveLogSink. Thread-safe.
+int AddLogSink(LogSink sink);
+
+// Removes a previously registered sink; unknown ids are ignored.
+void RemoveLogSink(int id);
+
+// Number of registered sinks (tests / diagnostics).
+std::size_t LogSinkCount();
+
+// Emits one line to stderr as "[LEVEL] message" (and to every registered
+// sink) when enabled.
 void LogMessage(LogLevel level, const std::string& message);
 
 namespace internal {

@@ -1,0 +1,80 @@
+// Annotated mutex wrapper — the repo-wide lock vocabulary.
+//
+// dash::util::Mutex is a std::mutex carrying the Clang thread-safety
+// CAPABILITY attribute; MutexLock is the RAII guard the analysis can
+// follow; CondVar pairs with Mutex the way std::condition_variable pairs
+// with std::mutex. All locking in src/ goes through these types so that
+// the `analyze` preset (-Werror=thread-safety) can prove GUARDED_BY
+// invariants end to end. Raw std::mutex/std::lock_guard in src/ is a
+// dash_lint violation (rule global-state catches the unguarded fields such
+// a mutex would protect).
+//
+// Usage:
+//   Mutex mu_;
+//   int counter_ DASH_GUARDED_BY(mu_);
+//   void Bump() { MutexLock lock(mu_); ++counter_; }
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace dash::util {
+
+class DASH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DASH_ACQUIRE() { m_.lock(); }
+  void Unlock() DASH_RELEASE() { m_.unlock(); }
+  bool TryLock() DASH_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+// RAII lock; the SCOPED_CAPABILITY attribute tells the analysis the
+// constructor acquires and the destructor releases.
+class DASH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DASH_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() DASH_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable for Mutex. Wait atomically releases `mu`, blocks, and
+// reacquires before returning — the caller must hold `mu` (REQUIRES), and
+// as with std::condition_variable the predicate must be rechecked in a
+// loop around Wait (spurious wakeups).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) DASH_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then hand
+    // ownership back to the caller's MutexLock. The analysis sees `mu`
+    // held across the call, which matches the observable contract.
+    std::unique_lock<std::mutex> native(mu.m_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dash::util

@@ -18,27 +18,27 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::Enqueue(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     jobs_.push(std::move(job));
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && jobs_.empty()) wake_.Wait(mutex_);
       if (jobs_.empty()) return;  // stopping_ and drained
       job = std::move(jobs_.front());
       jobs_.pop();
@@ -54,8 +54,8 @@ void ThreadPool::ParallelFor(std::size_t n,
   struct Shared {
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mutex;
+    Mutex error_mutex;
+    std::exception_ptr error DASH_GUARDED_BY(error_mutex);
     std::size_t limit;
     const std::function<void(std::size_t)>* fn;
   };
@@ -71,7 +71,7 @@ void ThreadPool::ParallelFor(std::size_t n,
       try {
         (*s->fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(s->error_mutex);
+        MutexLock lock(s->error_mutex);
         if (!s->error) s->error = std::current_exception();
         s->failed.store(true, std::memory_order_relaxed);
       }
@@ -88,7 +88,14 @@ void ThreadPool::ParallelFor(std::size_t n,
   }
   drain(state);
   for (std::future<void>& f : done) f.get();
-  if (state->error) std::rethrow_exception(state->error);
+  // Every helper has joined, but the analysis (rightly) still demands the
+  // lock to read the guarded slot.
+  std::exception_ptr error;
+  {
+    MutexLock lock(state->error_mutex);
+    error = state->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::Shared() {

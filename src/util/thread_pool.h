@@ -13,18 +13,25 @@
 //
 // ParallelFor rethrows the first exception raised by any index (remaining
 // indices may still run). The destructor drains the queue and joins.
+//
+// Concurrency invariants are machine-checked: `mutex_` guards the job
+// queue and the stop flag (GUARDED_BY), and the `analyze` preset fails the
+// build if any access slips outside the lock. This file and thread_pool.cc
+// are the only places in src/ allowed to create raw std::thread objects
+// (dash_lint rule raw-thread).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace dash::util {
 
@@ -57,14 +64,16 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void Enqueue(std::function<void()> job);
-  void WorkerLoop();
+  void Enqueue(std::function<void()> job) DASH_EXCLUDES(mutex_);
+  void WorkerLoop() DASH_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::queue<std::function<void()>> jobs_;
+  Mutex mutex_;
+  CondVar wake_;
+  std::queue<std::function<void()>> jobs_ DASH_GUARDED_BY(mutex_);
+  bool stopping_ DASH_GUARDED_BY(mutex_) = false;
+  // Written only by the constructor and joined by the destructor; workers
+  // never touch the vector itself, so it needs no lock.
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
 };
 
 }  // namespace dash::util

@@ -1,0 +1,326 @@
+// dash_lint rule-catalog tests: one known-bad and one known-good fixture
+// per rule, plus the escape hatch and the scanner's comment/string
+// immunity. Fixtures are embedded as raw strings and pushed through
+// LintFile with a path chosen to make the rule applicable — exactly how
+// the CTest `lint` run sees real files.
+#include "dash_lint_lib.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dash::lint {
+namespace {
+
+std::vector<std::string> Rules(const Report& report) {
+  std::vector<std::string> ids;
+  ids.reserve(report.violations.size());
+  for (const Diagnostic& d : report.violations) ids.push_back(d.rule);
+  return ids;
+}
+
+bool HasRule(const Report& report, const std::string& rule) {
+  const std::vector<std::string> ids = Rules(report);
+  return std::find(ids.begin(), ids.end(), rule) != ids.end();
+}
+
+// ---------------------------------------------------------------- raw-thread
+
+TEST(RawThread, FlagsStdThreadInCore) {
+  Report r = LintFile("src/core/scatter.cc", R"cc(
+#include <thread>
+namespace dash::core {
+void Go() { std::thread t([] {}); t.join(); }
+}  // namespace dash::core
+)cc");
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].rule, "raw-thread");
+  EXPECT_EQ(r.violations[0].line, 4);
+  EXPECT_EQ(r.violations[0].file, "src/core/scatter.cc");
+}
+
+TEST(RawThread, FlagsStdAsyncAndJthread) {
+  Report r = LintFile("src/baseline/x.cc", R"cc(
+auto f = std::async(std::launch::async, [] { return 1; });
+std::jthread j([] {});
+)cc");
+  EXPECT_EQ(Rules(r), (std::vector<std::string>{"raw-thread", "raw-thread"}));
+}
+
+TEST(RawThread, ThreadPoolImplementationIsExempt) {
+  const char* body = R"cc(
+#include <thread>
+namespace dash::util {
+std::vector<std::thread> workers_;  // dash-lint: allow(global-state)
+}
+)cc";
+  EXPECT_FALSE(HasRule(LintFile("src/util/thread_pool.cc", body),
+                       "raw-thread"));
+  EXPECT_FALSE(HasRule(LintFile("src/util/thread_pool.h", body),
+                       "raw-thread"));
+  EXPECT_TRUE(HasRule(LintFile("src/util/other.cc", body), "raw-thread"));
+}
+
+TEST(RawThread, PoolUsageIsClean) {
+  Report r = LintFile("src/core/scatter.cc", R"cc(
+#include "util/thread_pool.h"
+namespace dash::core {
+void Go(util::ThreadPool& pool) {
+  pool.ParallelFor(8, [](std::size_t) {});
+}
+}  // namespace dash::core
+)cc");
+  EXPECT_TRUE(r.violations.empty());
+}
+
+// ------------------------------------------------------------ nondeterminism
+
+TEST(Nondeterminism, FlagsEntropyAndWallClockInCore) {
+  Report r = LintFile("src/core/ranker.cc", R"cc(
+namespace dash::core {
+int A() { return rand(); }
+long B() { return time(nullptr); }
+int C() { std::random_device rd; return rd(); }
+auto D() { return std::chrono::system_clock::now(); }
+}
+)cc");
+  EXPECT_EQ(Rules(r),
+            (std::vector<std::string>{"nondeterminism", "nondeterminism",
+                                      "nondeterminism", "nondeterminism"}));
+  EXPECT_EQ(r.violations[0].line, 3);
+}
+
+TEST(Nondeterminism, AppliesToMapreduceButNotBaseline) {
+  const char* body = "int x = rand();\n";
+  EXPECT_TRUE(HasRule(LintFile("src/mapreduce/cluster.cc", body),
+                      "nondeterminism"));
+  // The surfacing baseline legitimately models wasteful random probing.
+  EXPECT_FALSE(HasRule(LintFile("src/baseline/surfacing.cc", body),
+                       "nondeterminism"));
+}
+
+TEST(Nondeterminism, SplitMixAndIdentifiersAreClean) {
+  Report r = LintFile("src/core/gen.cc", R"cc(
+#include "util/random.h"
+namespace dash::core {
+std::uint64_t Draw(util::SplitMix64& rng) { return rng.Next(); }
+// `operand(x)` and `wall_time(y)` must not trip the word matcher.
+int operand(int x);
+double wall_time(int y);
+}
+)cc");
+  EXPECT_TRUE(r.violations.empty());
+}
+
+// ------------------------------------------------------------ unordered-iter
+
+TEST(UnorderedIter, FlagsHashOrderIterationWithoutSort) {
+  Report r = LintFile("src/core/stats.cc", R"cc(
+namespace dash::core {
+std::unordered_map<std::string, int> counts;  // dash-lint: allow(global-state)
+std::vector<std::string> Dump() {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : counts) {
+    out.push_back(k);
+  }
+  return out;
+}
+}
+)cc");
+  ASSERT_TRUE(HasRule(r, "unordered-iter"));
+}
+
+TEST(UnorderedIter, CanonicalSortNearbyIsClean) {
+  Report r = LintFile("src/core/stats.cc", R"cc(
+namespace dash::core {
+std::vector<std::string> Dump(
+    const std::unordered_map<std::string, int>& counts) {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : counts) {
+    out.push_back(k);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+}
+)cc");
+  EXPECT_FALSE(HasRule(r, "unordered-iter"));
+}
+
+TEST(UnorderedIter, OnlyAppliesToCore) {
+  const char* body = R"cc(
+std::unordered_set<int> seen;  // dash-lint: allow(global-state)
+void F() {
+  for (int v : seen) { (void)v; }
+}
+)cc";
+  EXPECT_TRUE(HasRule(LintFile("src/core/x.cc", body), "unordered-iter"));
+  EXPECT_FALSE(HasRule(LintFile("src/db/x.cc", body), "unordered-iter"));
+}
+
+// -------------------------------------------------------------- global-state
+
+TEST(GlobalState, FlagsUnguardedNamespaceScopeMutable) {
+  Report r = LintFile("src/util/registry.cc", R"cc(
+namespace dash::util {
+namespace {
+int g_calls = 0;
+std::vector<std::string> g_names;
+}  // namespace
+}  // namespace dash::util
+)cc");
+  EXPECT_EQ(Rules(r),
+            (std::vector<std::string>{"global-state", "global-state"}));
+  EXPECT_EQ(r.violations[0].line, 4);
+  EXPECT_EQ(r.violations[1].line, 5);
+}
+
+TEST(GlobalState, GuardedConstAtomicAndMutexAreClean) {
+  Report r = LintFile("src/util/registry.cc", R"cc(
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+namespace dash::util {
+namespace {
+Mutex g_mutex;
+std::vector<std::string> g_names DASH_GUARDED_BY(g_mutex);
+std::atomic<int> g_calls{0};
+const int kLimit = 8;
+constexpr char kName[] = "dash";
+}  // namespace
+}  // namespace dash::util
+)cc");
+  EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(GlobalState, FunctionLocalsAndMembersAreNotNamespaceScope) {
+  Report r = LintFile("src/util/registry.cc", R"cc(
+namespace dash::util {
+class Registry {
+  int count_ = 0;
+  std::vector<int> items_;
+};
+int Count() {
+  static int memo = -1;
+  int local = 3;
+  return memo + local;
+}
+}  // namespace dash::util
+)cc");
+  EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(GlobalState, BracedInitializerDoesNotHideTheDeclaration) {
+  Report r = LintFile("src/util/registry.cc", R"cc(
+namespace dash::util {
+std::vector<std::pair<int, int>> g_pairs = {{1, 2}, {3, 4}};
+}
+)cc");
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].rule, "global-state");
+  EXPECT_EQ(r.violations[0].line, 3);
+}
+
+// ---------------------------------------------------------- iostream-hotpath
+
+TEST(IostreamHotpath, FlagsIncludeAndConsoleStreams) {
+  Report r = LintFile("src/db/table.cc", R"cc(
+#include <iostream>
+namespace dash::db {
+void Dump() { std::cout << "x"; std::cerr << "y"; }
+}
+)cc");
+  EXPECT_EQ(Rules(r),
+            (std::vector<std::string>{"iostream-hotpath", "iostream-hotpath",
+                                      "iostream-hotpath"}));
+}
+
+TEST(IostreamHotpath, SerializationStreamsAndOtherModulesAreClean) {
+  // <ostream>-based save/load APIs are the sanctioned pattern.
+  EXPECT_TRUE(LintFile("src/core/index_io.cc", R"cc(
+#include <ostream>
+#include <istream>
+namespace dash::core {
+void Save(std::ostream& out);
+}
+)cc").violations.empty());
+  // util may talk to stderr (logging lives there).
+  EXPECT_TRUE(LintFile("src/util/logging.cc",
+                       "#include <iostream>\n").violations.empty());
+}
+
+// ------------------------------------------------------------- escape hatch
+
+TEST(EscapeHatch, SameLineAndPreviousLineAllowSuppress) {
+  Report r = LintFile("src/core/x.cc", R"cc(
+namespace dash::core {
+int A() { return rand(); }  // dash-lint: allow(nondeterminism)
+// dash-lint: allow(nondeterminism)
+int B() { return rand(); }
+int C() { return rand(); }
+}
+)cc");
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].line, 6);
+  ASSERT_EQ(r.allowed.size(), 2u);
+  EXPECT_EQ(r.allowed[0].rule, "nondeterminism");
+  EXPECT_EQ(r.allowed[0].line, 3);
+  EXPECT_EQ(r.allowed[1].line, 5);
+}
+
+TEST(EscapeHatch, AllowOnlySuppressesTheNamedRule) {
+  Report r = LintFile("src/core/x.cc", R"cc(
+#include <thread>
+namespace dash::core {
+// dash-lint: allow(nondeterminism)
+std::thread g_worker;
+}
+)cc");
+  // The allow names the wrong rule: raw-thread and global-state still fire.
+  EXPECT_TRUE(HasRule(r, "raw-thread"));
+  EXPECT_TRUE(HasRule(r, "global-state"));
+  EXPECT_TRUE(r.allowed.empty());
+}
+
+// ------------------------------------------------------------- scanner core
+
+TEST(Scanner, CommentsAndStringsAreInvisible) {
+  Report r = LintFile("src/core/x.cc", R"cc(
+namespace dash::core {
+// std::thread in a comment is fine, as is rand() here.
+/* block comment: std::async, std::cout, time(nullptr) */
+const char* kDoc = "std::thread rand() std::cout";
+}
+)cc");
+  EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(Scanner, DiagnosticFormatIsMachineReadable) {
+  // (global-state skips declarations with parenthesised initializers, so
+  // only nondeterminism fires here.)
+  Report r = LintFile("src/core/x.cc", "int y = rand();\n");
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].ToString().rfind("src/core/x.cc:1: ", 0), 0u);
+}
+
+TEST(Scanner, RuleCatalogNamesEveryRule) {
+  std::string catalog = RuleCatalog();
+  for (const char* rule : {"raw-thread", "nondeterminism", "unordered-iter",
+                           "global-state", "iostream-hotpath"}) {
+    EXPECT_NE(catalog.find(rule), std::string::npos) << rule;
+  }
+}
+
+// The tree itself must be clean — the same invariant the `lint` CTest
+// enforces, checked here against the source tree when available.
+TEST(Tree, RepositoryIsLintClean) {
+  Report r = LintTree(DASH_SOURCE_DIR);
+  for (const Diagnostic& d : r.violations) {
+    ADD_FAILURE() << d.ToString();
+  }
+  EXPECT_GT(r.files_scanned, 50u);
+}
+
+}  // namespace
+}  // namespace dash::lint

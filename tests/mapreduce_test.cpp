@@ -153,7 +153,9 @@ TEST(Cluster, MetricsAccounting) {
       [] { return std::make_unique<SumReducer>(); });
 
   ASSERT_EQ(cluster.history().size(), 1u);
-  const JobMetrics& m = cluster.history()[0];
+  // history() returns a snapshot by value; copy the element (binding a
+  // reference into the temporary vector would dangle).
+  const JobMetrics m = cluster.history()[0];
   EXPECT_EQ(m.job_name, "metrics");
   EXPECT_EQ(m.map_input_records, input.size());
   EXPECT_EQ(m.map_input_bytes, DatasetBytes(input));

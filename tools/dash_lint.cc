@@ -1,0 +1,45 @@
+// dash_lint CLI — scans src/ and tools/ for repo invariant violations.
+//
+//   dash_lint --root <repo-root> [--list-rules]
+//
+// Output: one `file:line: rule-id: message` per violation, then a summary
+// naming every `// dash-lint: allow(...)` suppression in the tree (the
+// escape hatch stays visible, not silent). Exit code 1 on any violation.
+// Registered as a CTest with label `lint` (ctest -L lint).
+#include <cstdio>
+#include <string>
+
+#include "dash_lint_lib.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      std::fputs(dash::lint::RuleCatalog().c_str(), stdout);
+      return 0;
+    } else if (arg == "--help") {
+      std::puts("usage: dash_lint [--root <repo-root>] [--list-rules]");
+      return 0;
+    } else {
+      std::fprintf(stderr, "dash_lint: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  dash::lint::Report report = dash::lint::LintTree(root);
+  for (const auto& d : report.violations) {
+    std::printf("%s\n", d.ToString().c_str());
+  }
+  std::printf("dash_lint: scanned %zu files, %zu violation(s), %zu allowed "
+              "suppression(s)\n",
+              report.files_scanned, report.violations.size(),
+              report.allowed.size());
+  for (const auto& d : report.allowed) {
+    std::printf("  allowed: %s:%d: %s\n", d.file.c_str(), d.line,
+                d.rule.c_str());
+  }
+  return report.violations.empty() ? 0 : 1;
+}

@@ -1,0 +1,614 @@
+#include "dash_lint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace dash::lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// True when `token` occurs in `s` as a whole word (the characters adjacent
+// to the match are not identifier characters). `token` itself may contain
+// '::' qualifiers.
+bool ContainsWord(const std::string& s, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = s.find(token, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(s[pos - 1]);
+    std::size_t end = pos + token.size();
+    bool right_ok = end >= s.size() || !IsIdentChar(s[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+// Word `token` immediately (modulo whitespace) followed by '('.
+bool ContainsCall(const std::string& s, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = s.find(token, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(s[pos - 1]);
+    std::size_t end = pos + token.size();
+    if (left_ok) {
+      std::size_t j = end;
+      while (j < s.size() && (s[j] == ' ' || s[j] == '\t')) ++j;
+      if (j < s.size() && s[j] == '(') return true;
+    }
+    pos += 1;
+  }
+  return false;
+}
+
+// The scanner's view of one source file: comment/string/preprocessor-free
+// code lines (positions preserved), the raw lines, include targets, and
+// per-line allow() sets.
+struct FileView {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  // line (1-based) -> set of rule ids allowed on that line and the next
+  std::map<int, std::set<std::string>> allows;
+  // line -> include target as written, e.g. "<iostream>" or "\"util/x.h\""
+  std::map<int, std::string> includes;
+};
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+void ParseAllowComments(FileView& view) {
+  static const std::string kMarker = "dash-lint: allow(";
+  for (std::size_t i = 0; i < view.raw.size(); ++i) {
+    const std::string& line = view.raw[i];
+    std::size_t pos = 0;
+    while ((pos = line.find(kMarker, pos)) != std::string::npos) {
+      std::size_t begin = pos + kMarker.size();
+      std::size_t end = line.find(')', begin);
+      if (end == std::string::npos) break;
+      view.allows[static_cast<int>(i) + 1].insert(
+          line.substr(begin, end - begin));
+      pos = end;
+    }
+  }
+}
+
+void ParseIncludes(FileView& view) {
+  for (std::size_t i = 0; i < view.raw.size(); ++i) {
+    const std::string& line = view.raw[i];
+    std::size_t j = line.find_first_not_of(" \t");
+    if (j == std::string::npos || line[j] != '#') continue;
+    j = line.find_first_not_of(" \t", j + 1);
+    if (j == std::string::npos || line.compare(j, 7, "include") != 0) continue;
+    j = line.find_first_not_of(" \t", j + 7);
+    if (j == std::string::npos) continue;
+    char close = line[j] == '<' ? '>' : (line[j] == '"' ? '"' : '\0');
+    if (close == '\0') continue;
+    std::size_t end = line.find(close, j + 1);
+    if (end == std::string::npos) continue;
+    view.includes[static_cast<int>(i) + 1] = line.substr(j, end - j + 1);
+  }
+}
+
+// Blanks comments, string/char literals (including raw strings), and
+// preprocessor directives (with backslash continuations), preserving line
+// structure so diagnostics keep their positions.
+void BuildCodeView(FileView& view) {
+  enum class State {
+    kNormal,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+    kPreprocessor
+  };
+  State state = State::kNormal;
+  std::string raw_delim;  // for raw strings: the ")delim" terminator
+  view.code.assign(view.raw.size(), "");
+  for (std::size_t li = 0; li < view.raw.size(); ++li) {
+    const std::string& in = view.raw[li];
+    std::string out(in.size(), ' ');
+    if (state == State::kLineComment) state = State::kNormal;
+    std::size_t i = 0;
+    // A preprocessor directive can only start at the beginning of a line.
+    if (state == State::kNormal) {
+      std::size_t first = in.find_first_not_of(" \t");
+      if (first != std::string::npos && in[first] == '#') {
+        state = State::kPreprocessor;
+      }
+    }
+    while (i < in.size()) {
+      char c = in[i];
+      char next = i + 1 < in.size() ? in[i + 1] : '\0';
+      switch (state) {
+        case State::kNormal:
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            i = in.size();
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            i += 2;
+          } else if (c == 'R' && next == '"' &&
+                     (i == 0 || !IsIdentChar(in[i - 1]))) {
+            std::size_t open = in.find('(', i + 2);
+            if (open != std::string::npos) {
+              raw_delim = ")" + in.substr(i + 2, open - (i + 2)) + "\"";
+              state = State::kRawString;
+              i = open + 1;
+            } else {
+              i += 2;  // malformed; skip
+            }
+          } else if (c == '"') {
+            state = State::kString;
+            ++i;
+          } else if (c == '\'' &&
+                     !(i > 0 && (std::isdigit(static_cast<unsigned char>(
+                                     in[i - 1])) ||
+                                 in[i - 1] == '\''))) {
+            // skip digit separators like 1'000'000
+            state = State::kChar;
+            ++i;
+          } else {
+            out[i] = c;
+            ++i;
+          }
+          break;
+        case State::kString:
+        case State::kChar:
+          if (c == '\\') {
+            i += 2;
+          } else if ((state == State::kString && c == '"') ||
+                     (state == State::kChar && c == '\'')) {
+            state = State::kNormal;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        case State::kRawString: {
+          std::size_t end = in.find(raw_delim, i);
+          if (end == std::string::npos) {
+            i = in.size();
+          } else {
+            i = end + raw_delim.size();
+            state = State::kNormal;
+          }
+          break;
+        }
+        case State::kBlockComment: {
+          std::size_t end = in.find("*/", i);
+          if (end == std::string::npos) {
+            i = in.size();
+          } else {
+            i = end + 2;
+            state = State::kNormal;
+          }
+          break;
+        }
+        case State::kPreprocessor:
+          i = in.size();  // whole line blanked
+          break;
+        case State::kLineComment:
+          i = in.size();
+          break;
+      }
+    }
+    if (state == State::kPreprocessor) {
+      // Continue only when the raw line ends with a backslash.
+      std::size_t last = in.find_last_not_of(" \t");
+      if (last == std::string::npos || in[last] != '\\') {
+        state = State::kNormal;
+      }
+    }
+    if (state == State::kString || state == State::kChar) {
+      state = State::kNormal;  // unterminated literal: recover per line
+    }
+    view.code[li] = std::move(out);
+  }
+}
+
+class Linter {
+ public:
+  Linter(std::string path, const std::string& content) : path_(std::move(path)) {
+    view_.raw = SplitLines(content);
+    ParseAllowComments(view_);
+    ParseIncludes(view_);
+    BuildCodeView(view_);
+  }
+
+  Report Run() {
+    if (RuleApplies("raw-thread")) CheckRawThread();
+    if (RuleApplies("nondeterminism")) CheckNondeterminism();
+    if (RuleApplies("unordered-iter")) CheckUnorderedIteration();
+    if (RuleApplies("global-state")) CheckGlobalState();
+    if (RuleApplies("iostream-hotpath")) CheckIostream();
+    report_.files_scanned = 1;
+    return std::move(report_);
+  }
+
+ private:
+  bool StartsWith(const std::string& prefix) const {
+    return path_.rfind(prefix, 0) == 0;
+  }
+
+  bool RuleApplies(const std::string& rule) const {
+    if (rule == "raw-thread") {
+      return path_ != "src/util/thread_pool.h" &&
+             path_ != "src/util/thread_pool.cc";
+    }
+    if (rule == "nondeterminism") {
+      return StartsWith("src/core/") || StartsWith("src/mapreduce/");
+    }
+    if (rule == "unordered-iter") return StartsWith("src/core/");
+    if (rule == "global-state") return true;
+    if (rule == "iostream-hotpath") {
+      return StartsWith("src/core/") || StartsWith("src/db/");
+    }
+    return false;
+  }
+
+  void Emit(int line, const std::string& rule, std::string message) {
+    Diagnostic d{path_, line, rule, std::move(message)};
+    auto allowed_at = [&](int l) {
+      auto it = view_.allows.find(l);
+      return it != view_.allows.end() && it->second.count(rule) > 0;
+    };
+    if (allowed_at(line) || allowed_at(line - 1)) {
+      report_.allowed.push_back(std::move(d));
+    } else {
+      report_.violations.push_back(std::move(d));
+    }
+  }
+
+  void CheckRawThread() {
+    for (std::size_t i = 0; i < view_.code.size(); ++i) {
+      const std::string& line = view_.code[i];
+      for (const char* token : {"std::thread", "std::jthread", "std::async"}) {
+        if (ContainsWord(line, token)) {
+          Emit(static_cast<int>(i) + 1, "raw-thread",
+               std::string(token) +
+                   " outside util/thread_pool; use util::ThreadPool "
+                   "(Submit/ParallelFor)");
+        }
+      }
+    }
+  }
+
+  void CheckNondeterminism() {
+    for (std::size_t i = 0; i < view_.code.size(); ++i) {
+      const std::string& line = view_.code[i];
+      int ln = static_cast<int>(i) + 1;
+      for (const char* call : {"rand", "srand", "time", "clock"}) {
+        if (ContainsCall(line, call)) {
+          Emit(ln, "nondeterminism",
+               std::string(call) +
+                   "() is nondeterministic; core/mapreduce must be "
+                   "seed-replayable (util/random.h SplitMix64)");
+        }
+      }
+      for (const char* token :
+           {"std::random_device", "std::chrono::system_clock"}) {
+        if (ContainsWord(line, token)) {
+          Emit(ln, "nondeterminism",
+               std::string(token) +
+                   " is nondeterministic; core/mapreduce must be "
+                   "seed-replayable (util/random.h SplitMix64)");
+        }
+      }
+    }
+  }
+
+  // Variables declared in this file with an unordered container type.
+  std::vector<std::string> UnorderedNames() const {
+    std::vector<std::string> names;
+    for (const std::string& line : view_.code) {
+      for (const char* kind : {"unordered_map", "unordered_set",
+                               "unordered_multimap", "unordered_multiset"}) {
+        std::size_t pos = 0;
+        while ((pos = line.find(kind, pos)) != std::string::npos) {
+          std::size_t j = pos + std::string(kind).size();
+          pos = j;
+          // Skip the template argument list (balanced angle brackets).
+          std::size_t k = j;
+          while (k < line.size() && (line[k] == ' ' || line[k] == '\t')) ++k;
+          if (k >= line.size() || line[k] != '<') continue;
+          int depth = 0;
+          while (k < line.size()) {
+            if (line[k] == '<') ++depth;
+            if (line[k] == '>') {
+              --depth;
+              if (depth == 0) {
+                ++k;
+                break;
+              }
+            }
+            ++k;
+          }
+          if (depth != 0) continue;  // args span lines: give up on this decl
+          while (k < line.size() && (line[k] == ' ' || line[k] == '\t' ||
+                                     line[k] == '&')) {
+            ++k;
+          }
+          std::size_t name_begin = k;
+          while (k < line.size() && IsIdentChar(line[k])) ++k;
+          if (k > name_begin) {
+            std::string name = line.substr(name_begin, k - name_begin);
+            if (name != "iterator" && name != "const_iterator") {
+              names.push_back(std::move(name));
+            }
+          }
+        }
+      }
+    }
+    return names;
+  }
+
+  void CheckUnorderedIteration() {
+    std::vector<std::string> names = UnorderedNames();
+    if (names.empty()) return;
+    constexpr int kSortWindow = 12;  // lines after the loop header
+    for (std::size_t i = 0; i < view_.code.size(); ++i) {
+      const std::string& line = view_.code[i];
+      // Find a range-for header: `for (... : range)` (the range expression
+      // may not span lines — good enough for this codebase).
+      std::size_t fpos = 0;
+      while ((fpos = line.find("for", fpos)) != std::string::npos) {
+        bool word = (fpos == 0 || !IsIdentChar(line[fpos - 1])) &&
+                    (fpos + 3 >= line.size() || !IsIdentChar(line[fpos + 3]));
+        if (!word) {
+          fpos += 3;
+          continue;
+        }
+        std::size_t open = line.find('(', fpos + 3);
+        if (open == std::string::npos) break;
+        // Top-level ':' that is not part of '::'.
+        std::size_t colon = std::string::npos;
+        for (std::size_t k = open + 1; k < line.size(); ++k) {
+          if (line[k] == ':' &&
+              (k + 1 >= line.size() || line[k + 1] != ':') &&
+              (k == 0 || line[k - 1] != ':')) {
+            colon = k;
+            break;
+          }
+        }
+        if (colon == std::string::npos) break;
+        std::string range = line.substr(colon + 1);
+        bool hits = false;
+        for (const std::string& name : names) {
+          if (ContainsWord(range, name)) hits = true;
+        }
+        if (hits) {
+          bool sorted_nearby = false;
+          for (std::size_t j = i;
+               j < view_.code.size() && j <= i + kSortWindow; ++j) {
+            const std::string& near = view_.code[j];
+            if (near.find("sort(") != std::string::npos ||
+                near.find("Canonicalize") != std::string::npos) {
+              sorted_nearby = true;
+              break;
+            }
+          }
+          if (!sorted_nearby) {
+            Emit(static_cast<int>(i) + 1, "unordered-iter",
+                 "iteration over unordered container feeds output without a "
+                 "canonical sort nearby; sort, or justify with an allow "
+                 "comment");
+          }
+        }
+        break;  // one range-for per line is enough
+      }
+    }
+  }
+
+  void CheckGlobalState() {
+    struct Scope {
+      bool is_namespace;
+      bool is_initializer;  // brace belongs to a declaration's initializer
+    };
+    std::vector<Scope> scopes;
+    auto at_ns_scope = [&] {
+      for (const Scope& s : scopes) {
+        if (!s.is_namespace && !s.is_initializer) return false;
+        if (s.is_initializer) return false;
+      }
+      return true;
+    };
+    std::string stmt;
+    int stmt_line = 0;
+    for (std::size_t li = 0; li < view_.code.size(); ++li) {
+      const std::string& line = view_.code[li];
+      for (char c : line) {
+        if (c == '{') {
+          if (!at_ns_scope()) {
+            scopes.push_back({false, false});
+            continue;
+          }
+          std::string t = stmt;
+          while (!t.empty() && (t.back() == ' ' || t.back() == '\t')) {
+            t.pop_back();
+          }
+          if (ContainsWord(t, "namespace")) {
+            scopes.push_back({true, false});
+            stmt.clear();
+          } else if (t.empty() || t.back() == ')' ||
+                     t.find('(') != std::string::npos ||
+                     ContainsWord(t, "class") || ContainsWord(t, "struct") ||
+                     ContainsWord(t, "union") || ContainsWord(t, "enum") ||
+                     ContainsWord(t, "extern")) {
+            scopes.push_back({false, false});  // type/function/linkage body
+            stmt.clear();
+          } else {
+            scopes.push_back({false, true});  // braced initializer
+          }
+        } else if (c == '}') {
+          bool was_init = false;
+          if (!scopes.empty()) {
+            was_init = scopes.back().is_initializer;
+            scopes.pop_back();
+          }
+          // Closing a body at namespace scope ends the construct; closing
+          // an initializer (or any brace nested inside one) leaves the
+          // pending declaration intact until its ';'.
+          if (!was_init && at_ns_scope()) stmt.clear();
+        } else if (c == ';') {
+          if (at_ns_scope()) {
+            CheckNamespaceDecl(stmt, stmt_line);
+          }
+          stmt.clear();
+        } else if (at_ns_scope()) {
+          if (stmt.empty() && (c == ' ' || c == '\t')) continue;
+          if (stmt.empty()) stmt_line = static_cast<int>(li) + 1;
+          stmt.push_back(c);
+        }
+      }
+      if (at_ns_scope() && !stmt.empty()) stmt.push_back(' ');
+    }
+  }
+
+  void CheckNamespaceDecl(const std::string& stmt, int line) {
+    if (stmt.find_first_not_of(" \t") == std::string::npos) return;
+    // Declarations that are immutable, synchronisation primitives, or not
+    // variables at all.
+    for (const char* kw :
+         {"using", "typedef", "template", "friend", "static_assert",
+          "extern", "operator", "struct", "class", "union", "enum",
+          "namespace", "const", "constexpr", "constinit", "consteval",
+          "thread_local", "requires", "concept", "return", "if", "while",
+          "public", "private", "protected"}) {
+      if (ContainsWord(stmt, kw)) return;
+    }
+    if (stmt.find('(') != std::string::npos) return;  // function-ish
+    for (const char* type_ok :
+         {"Mutex", "mutex", "atomic", "once_flag", "CondVar",
+          "condition_variable"}) {
+      if (stmt.find(type_ok) != std::string::npos) return;
+    }
+    if (stmt.find("GUARDED_BY") != std::string::npos) return;
+    // Needs at least a type token and a name token.
+    int ident_tokens = 0;
+    bool in_token = false;
+    for (char c : stmt) {
+      if (IsIdentChar(c)) {
+        if (!in_token) ++ident_tokens;
+        in_token = true;
+      } else {
+        in_token = false;
+      }
+    }
+    if (ident_tokens < 2) return;
+    Emit(line, "global-state",
+         "mutable namespace-scope state without DASH_GUARDED_BY; guard it "
+         "with a dash::util::Mutex (or make it const/atomic)");
+  }
+
+  void CheckIostream() {
+    // <ostream>/<istream> are fine: the save/load APIs take stream
+    // references. The ban is on *console* I/O — <iostream> drags in the
+    // global stream objects, and cout/cerr writes bypass util/logging's
+    // level filter and sink fanout.
+    for (const auto& [line, target] : view_.includes) {
+      if (target == "<iostream>") {
+        Emit(line, "iostream-hotpath",
+             "iostream include in a hot-path module; use util/logging "
+             "(DASH_LOG) instead");
+      }
+    }
+    for (std::size_t i = 0; i < view_.code.size(); ++i) {
+      const std::string& line = view_.code[i];
+      for (const char* token : {"std::cout", "std::cerr", "std::cin",
+                                "std::clog"}) {
+        if (ContainsWord(line, token)) {
+          Emit(static_cast<int>(i) + 1, "iostream-hotpath",
+               std::string(token) +
+                   " in a hot-path module; use util/logging (DASH_LOG)");
+        }
+      }
+    }
+  }
+
+  std::string path_;
+  FileView view_;
+  Report report_;
+};
+
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream out;
+  out << file << ":" << line << ": " << rule << ": " << message;
+  return out.str();
+}
+
+Report LintFile(const std::string& path, const std::string& content) {
+  return Linter(path, content).Run();
+}
+
+Report LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  Report total;
+  std::vector<fs::path> files;
+  for (const char* dir : {"src", "tools"}) {
+    fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      fs::path ext = entry.path().extension();
+      if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string rel =
+        fs::relative(file, fs::path(root)).generic_string();
+    Report r = LintFile(rel, buffer.str());
+    total.files_scanned += r.files_scanned;
+    for (auto& d : r.violations) total.violations.push_back(std::move(d));
+    for (auto& d : r.allowed) total.allowed.push_back(std::move(d));
+  }
+  return total;
+}
+
+std::string RuleCatalog() {
+  return
+      "raw-thread        std::thread/std::jthread/std::async are only\n"
+      "                  allowed in src/util/thread_pool.{h,cc}; everything\n"
+      "                  else uses util::ThreadPool.\n"
+      "nondeterminism    rand()/srand()/time()/clock()/std::random_device/\n"
+      "                  std::chrono::system_clock are banned in src/core\n"
+      "                  and src/mapreduce; use util/random.h (SplitMix64).\n"
+      "unordered-iter    in src/core, a range-for over an unordered\n"
+      "                  container declared in the same file needs a\n"
+      "                  canonical sort within 12 lines (hash order must\n"
+      "                  not reach output).\n"
+      "global-state      namespace-scope mutable variables must be\n"
+      "                  DASH_GUARDED_BY a mutex, atomic, or const.\n"
+      "iostream-hotpath  src/core and src/db must not use <iostream>/\n"
+      "                  std::cout/std::cerr; use util/logging.\n"
+      "\n"
+      "Suppress a finding with `// dash-lint: allow(rule-id)` on the same\n"
+      "line or the line above; suppressions are listed in the summary.\n";
+}
+
+}  // namespace dash::lint
