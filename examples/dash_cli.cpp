@@ -11,8 +11,12 @@
 //       Search www.example.com/Search /tmp/dashdemo/search.idx
 //   (one line; wrapped here for width)
 //
-//   # 3. Serve keyword searches from the index file:
+//   # 3. Serve keyword searches from the index file — optionally through
+//   #    the sharded scatter-gather path or the snapshot-keyed result
+//   #    cache (both share the one loaded IndexSnapshot):
 //   ./dash_cli search /tmp/dashdemo/search.idx -k 2 -s 20 burger
+//   ./dash_cli search /tmp/dashdemo/search.idx --shards 4 burger
+//   ./dash_cli search /tmp/dashdemo/search.idx --cache 64 burger
 //   ./dash_cli stats  /tmp/dashdemo/search.idx
 #include <cstdio>
 #include <cstring>
@@ -23,6 +27,8 @@
 
 #include "core/dash_engine.h"
 #include "core/index_io.h"
+#include "core/result_cache.h"
+#include "core/sharded_engine.h"
 #include "db/csv_io.h"
 #include "testing/fooddb.h"
 #include "util/stopwatch.h"
@@ -39,7 +45,8 @@ int Usage() {
                "  dash_cli dump-sample <dir>\n"
                "  dash_cli crawl <dbdir> <servlet> <name> <uri> <out.idx> "
                "[--algorithm ref|sw|int]\n"
-               "  dash_cli search <idx> [-k N] [-s N] <keyword>...\n"
+               "  dash_cli search <idx> [-k N] [-s N] [--shards N] "
+               "[--cache N] <keyword>...\n"
                "  dash_cli stats <idx>\n");
   return 2;
 }
@@ -112,22 +119,54 @@ int Search(int argc, char** argv) {
   const std::string idx_path = argv[2];
   int k = 10;
   std::uint64_t s = 100;
+  int shards = 1;
+  std::size_t cache = 0;
   std::vector<std::string> keywords;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "-k") == 0 && i + 1 < argc) {
       k = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "-s") == 0 && i + 1 < argc) {
       s = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      cache = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else {
       keywords.emplace_back(argv[i]);
     }
   }
-  if (keywords.empty()) return Usage();
+  if (keywords.empty() || shards < 1) return Usage();
 
-  core::DashEngine engine = core::LoadEngineFile(idx_path);
+  // One immutable snapshot behind a publication point — the same serving
+  // shape a long-running deployment uses; every path below shares it.
+  core::SnapshotPtr snapshot = core::LoadSnapshotFile(idx_path);
+  core::SnapshotPublisher publisher(snapshot);
+  std::vector<core::SearchResult> results;
   util::Stopwatch watch;
-  auto results = engine.Search(keywords, k, s);
-  double ms = watch.ElapsedMillis();
+  double ms = 0;
+  if (cache > 0) {
+    core::CachingEngine caching(publisher, cache);
+    results = caching.Search(keywords, k, s);
+    double cold_ms = watch.ElapsedMillis();
+    util::Stopwatch warm;
+    results = caching.Search(keywords, k, s);
+    ms = warm.ElapsedMillis();
+    std::printf("cache: cold %.3f ms, cached %.3f ms (generation %llu)\n",
+                cold_ms, ms,
+                static_cast<unsigned long long>(
+                    publisher.CurrentGeneration()));
+  } else if (shards > 1) {
+    core::ShardedEngine sharded(snapshot, shards);
+    watch = util::Stopwatch();
+    results = sharded.Search(keywords, k, s);
+    ms = watch.ElapsedMillis();
+    std::printf("scatter-gather over %zu shards, one shared snapshot\n",
+                sharded.shard_count());
+  } else {
+    core::DashEngine engine(snapshot);
+    results = engine.Search(keywords, k, s);
+    ms = watch.ElapsedMillis();
+  }
   if (results.empty()) {
     std::printf("no db-pages match '%s'\n",
                 util::Join(keywords, " ").c_str());
@@ -144,9 +183,15 @@ int Search(int argc, char** argv) {
 
 int Stats(int argc, char** argv) {
   if (argc < 3) return Usage();
-  core::DashEngine engine = core::LoadEngineFile(argv[2]);
+  core::SnapshotPtr snapshot = core::LoadSnapshotFile(argv[2]);
+  core::SnapshotPublisher publisher(snapshot);
+  core::DashEngine engine(publisher.Current());
   std::printf("application : %s (%s)\n", engine.app().name.c_str(),
               engine.app().uri.c_str());
+  std::printf("snapshot    : generation %llu, %zu fragments, %zu terms\n",
+              static_cast<unsigned long long>(snapshot->generation()),
+              snapshot->catalog().size(),
+              snapshot->index().keyword_count());
   std::printf("query       : %s\n", engine.app().query.ToString().c_str());
   std::printf("fragments   : %zu (avg %.1f keywords)\n",
               engine.catalog().size(), engine.catalog().AverageKeywords());

@@ -60,7 +60,7 @@ int main() {
   std::printf("\nIndex partitioned over %zu shards (fragments per shard:",
               sharded.shard_count());
   for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
-    std::printf(" %zu", sharded.shard(s).catalog().size());
+    std::printf(" %zu", sharded.shard_fragment_count(s));
   }
   std::printf(")\nScatter-gather top-2 for \"burger\":\n");
   for (const auto& r : sharded.Search({"burger"}, 2, 20)) {

@@ -1,5 +1,7 @@
 #include "core/dash_engine.h"
 
+#include <stdexcept>
+
 #include "core/pruning.h"
 
 namespace dash::core {
@@ -16,20 +18,15 @@ std::string_view CrawlAlgorithmName(CrawlAlgorithm a) {
   return "?";
 }
 
-DashEngine::DashEngine(webapp::WebAppInfo app, FragmentIndexBuild build,
-                       std::vector<sql::SelectionAttribute> selection,
-                       std::vector<CrawlPhase> phases)
-    : app_(std::move(app)),
-      build_(std::move(build)),
-      selection_(std::move(selection)),
-      phases_(std::move(phases)) {
-  std::size_t num_eq = 0;
-  for (const sql::SelectionAttribute& a : selection_) {
-    if (!a.is_range) ++num_eq;
+DashEngine::DashEngine(SnapshotPtr snapshot, std::vector<CrawlPhase> phases)
+    : snapshot_(std::move(snapshot)), phases_(std::move(phases)) {
+  if (snapshot_ == nullptr) {
+    throw std::invalid_argument("DashEngine: snapshot must not be null");
   }
-  graph_ = FragmentGraph::Build(build_.catalog, num_eq,
-                                selection_.size() - num_eq);
 }
+
+DashEngine::DashEngine(SnapshotPtr snapshot)
+    : DashEngine(std::move(snapshot), {}) {}
 
 DashEngine DashEngine::Build(const db::Database& db, webapp::WebAppInfo app,
                              const BuildOptions& options) {
@@ -59,26 +56,21 @@ DashEngine DashEngine::Build(const db::Database& db, webapp::WebAppInfo app,
   if (options.min_fragment_keywords > 0) {
     build = PruneFragments(build, options.min_fragment_keywords);
   }
-  return DashEngine(std::move(app), std::move(build), std::move(selection),
+  return DashEngine(IndexSnapshot::Create(std::move(app), std::move(selection),
+                                          std::move(build)),
                     std::move(phases));
 }
 
 DashEngine DashEngine::FromParts(webapp::WebAppInfo app,
                                  FragmentIndexBuild build) {
-  std::vector<sql::SelectionAttribute> selection =
-      app.query.SelectionAttributes();
-  return DashEngine(std::move(app), std::move(build), std::move(selection),
+  return DashEngine(IndexSnapshot::Create(std::move(app), std::move(build)),
                     {});
 }
 
 std::vector<SearchResult> DashEngine::Search(
     const std::vector<std::string>& keywords, int k,
     std::uint64_t min_page_words, std::size_t max_seeds) const {
-  // The searcher only binds references, so constructing one per call is
-  // free and keeps DashEngine safely movable.
-  TopKSearcher searcher(build_.index, build_.catalog, graph_, selection_,
-                        &app_);
-  return searcher.Search(keywords, k, min_page_words, max_seeds);
+  return snapshot_->Search(keywords, k, min_page_words, max_seeds);
 }
 
 }  // namespace dash::core

@@ -10,6 +10,12 @@
 //   auto engine = dash::core::DashEngine::Build(db, app);
 //   for (const auto& r : engine.Search({"burger"}, /*k=*/2, /*s=*/20))
 //     std::cout << r.url << "\n";
+//
+// An engine is a thin view over an immutable IndexSnapshot (one shared_ptr
+// plus crawl metrics): Build/FromParts produce a snapshot, Search takes no
+// locks, and copying or moving an engine never copies index state. Layers
+// that need concurrent republication (UpdatableIndex, CachingEngine) work
+// with the snapshot/publisher directly — see core/index_snapshot.h.
 #pragma once
 
 #include <memory>
@@ -17,9 +23,8 @@
 #include <string>
 #include <vector>
 
-#include "core/fragment_graph.h"
+#include "core/index_snapshot.h"
 #include "core/mr_crawl.h"
-#include "core/topk_search.h"
 #include "db/database.h"
 #include "webapp/query_string.h"
 
@@ -56,34 +61,36 @@ class DashEngine {
   static DashEngine FromParts(webapp::WebAppInfo app,
                               FragmentIndexBuild build);
 
+  // View over an existing snapshot (shares it; no copying). Throws
+  // std::invalid_argument on a null snapshot.
+  explicit DashEngine(SnapshotPtr snapshot);
+
   // Top-k keyword search (Algorithm 1): at most `k` db-page URLs, pages
   // grown to at least `min_page_words` keywords where possible.
   // `max_seeds` optionally caps the relevant fragments seeded per query
-  // (see TopKSearcher::Search).
+  // (see TopKSearcher::Search). Lock-free: reads only the immutable
+  // snapshot.
   std::vector<SearchResult> Search(const std::vector<std::string>& keywords,
                                    int k, std::uint64_t min_page_words,
                                    std::size_t max_seeds = 0) const;
 
-  const webapp::WebAppInfo& app() const { return app_; }
-  const FragmentCatalog& catalog() const { return build_.catalog; }
-  const InvertedFragmentIndex& index() const { return build_.index; }
-  const FragmentGraph& graph() const { return graph_; }
+  const webapp::WebAppInfo& app() const { return snapshot_->app(); }
+  const FragmentCatalog& catalog() const { return snapshot_->catalog(); }
+  const InvertedFragmentIndex& index() const { return snapshot_->index(); }
+  const FragmentGraph& graph() const { return snapshot_->graph(); }
   const std::vector<sql::SelectionAttribute>& selection() const {
-    return selection_;
+    return snapshot_->selection();
   }
+  // The underlying immutable serving artifact.
+  const SnapshotPtr& snapshot() const { return snapshot_; }
   // MR phase metrics of the crawl (empty for kReference).
   const std::vector<CrawlPhase>& crawl_phases() const { return phases_; }
 
  private:
-  DashEngine(webapp::WebAppInfo app, FragmentIndexBuild build,
-             std::vector<sql::SelectionAttribute> selection,
-             std::vector<CrawlPhase> phases);
+  DashEngine(SnapshotPtr snapshot, std::vector<CrawlPhase> phases);
 
-  webapp::WebAppInfo app_;
-  FragmentIndexBuild build_;
-  std::vector<sql::SelectionAttribute> selection_;
+  SnapshotPtr snapshot_;
   std::vector<CrawlPhase> phases_;
-  FragmentGraph graph_;
 };
 
 }  // namespace dash::core

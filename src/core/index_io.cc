@@ -84,21 +84,24 @@ db::Value DecodeTypedValue(const std::string& text) {
   throw IndexIoError("unknown value type tag: " + text);
 }
 
-void SaveEngine(const DashEngine& engine, std::ostream& out) {
+void SaveSnapshot(const IndexSnapshot& snapshot, std::ostream& out) {
+  if (!snapshot.has_app()) {
+    throw IndexIoError("cannot save a snapshot without app info");
+  }
   out << "DASHIDX\t" << kFormatVersion << "\n";
   out << EncodeFields(std::vector<std::string>{
-             "app", engine.app().name, engine.app().uri,
-             engine.app().query.ToString()})
+             "app", snapshot.app().name, snapshot.app().uri,
+             snapshot.app().query.ToString()})
       << "\n";
 
-  const auto& bindings = engine.app().codec.bindings();
+  const auto& bindings = snapshot.app().codec.bindings();
   out << "bindings\t" << bindings.size() << "\n";
   for (const webapp::ParamBinding& b : bindings) {
     out << EncodeFields(std::vector<std::string>{b.url_field, b.parameter})
         << "\n";
   }
 
-  const FragmentCatalog& catalog = engine.catalog();
+  const FragmentCatalog& catalog = snapshot.catalog();
   out << "fragments\t" << catalog.size() << "\n";
   for (std::size_t f = 0; f < catalog.size(); ++f) {
     std::vector<std::string> fields;
@@ -108,17 +111,21 @@ void SaveEngine(const DashEngine& engine, std::ostream& out) {
     out << EncodeFields(fields) << "\n";
   }
 
-  auto keywords = engine.index().KeywordsByDf();
+  auto keywords = snapshot.index().KeywordsByDf();
   out << "keywords\t" << keywords.size() << "\n";
   for (const auto& [keyword, df] : keywords) {
     std::vector<std::string> fields;
     fields.push_back(keyword);
-    for (const Posting& p : engine.index().Lookup(keyword)) {
+    for (const Posting& p : snapshot.index().Lookup(keyword)) {
       fields.push_back(std::to_string(p.fragment) + ":" +
                        std::to_string(p.occurrences));
     }
     out << EncodeFields(fields) << "\n";
   }
+}
+
+void SaveEngine(const DashEngine& engine, std::ostream& out) {
+  SaveSnapshot(*engine.snapshot(), out);
 }
 
 void SaveEngineFile(const DashEngine& engine, const std::string& path) {
@@ -128,7 +135,7 @@ void SaveEngineFile(const DashEngine& engine, const std::string& path) {
   if (!out) throw IndexIoError("write failure on '" + path + "'");
 }
 
-DashEngine LoadEngine(std::istream& in) {
+SnapshotPtr LoadSnapshot(std::istream& in) {
   std::string header = ReadLineOrThrow(in, "header");
   std::vector<std::string> fields = DecodeFields(header);
   std::int64_t version = 0;
@@ -200,13 +207,21 @@ DashEngine LoadEngine(std::istream& in) {
   build.index.Finalize(&build.catalog, &util::ThreadPool::Shared());
   // Identifiers were written in canonical (ascending) order, so handles
   // are already canonical; no remap needed.
-  return DashEngine::FromParts(std::move(app), std::move(build));
+  return IndexSnapshot::Create(std::move(app), std::move(build));
+}
+
+SnapshotPtr LoadSnapshotFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IndexIoError("cannot open '" + path + "' for reading");
+  return LoadSnapshot(in);
+}
+
+DashEngine LoadEngine(std::istream& in) {
+  return DashEngine(LoadSnapshot(in));
 }
 
 DashEngine LoadEngineFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw IndexIoError("cannot open '" + path + "' for reading");
-  return LoadEngine(in);
+  return DashEngine(LoadSnapshotFile(path));
 }
 
 }  // namespace dash::core

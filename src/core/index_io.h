@@ -29,12 +29,20 @@ class IndexIoError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-// Serializes the engine's application info and fragment index. (The
-// fragment graph is derived state and is rebuilt on load.)
+// Serializes a snapshot's application info and fragment index. (The
+// fragment graph is derived state and is rebuilt on load; the generation
+// id is process-local and not persisted.) Requires snapshot.has_app() —
+// the format stores the app record.
+void SaveSnapshot(const IndexSnapshot& snapshot, std::ostream& out);
+
+// Inverse of SaveSnapshot; throws IndexIoError on malformed input. The
+// loaded snapshot gets a fresh generation id.
+SnapshotPtr LoadSnapshot(std::istream& in);
+SnapshotPtr LoadSnapshotFile(const std::string& path);
+
+// Engine-level convenience wrappers over the snapshot forms.
 void SaveEngine(const DashEngine& engine, std::ostream& out);
 void SaveEngineFile(const DashEngine& engine, const std::string& path);
-
-// Inverse of SaveEngine; throws IndexIoError on malformed input.
 DashEngine LoadEngine(std::istream& in);
 DashEngine LoadEngineFile(const std::string& path);
 

@@ -1,0 +1,95 @@
+#include "core/index_snapshot.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+namespace dash::core {
+
+namespace {
+
+// Process-wide generation source (see NextSnapshotGeneration in the
+// header for why it is global rather than per publisher).
+std::atomic<std::uint64_t> g_next_generation{0};
+
+}  // namespace
+
+std::uint64_t NextSnapshotGeneration() {
+  return g_next_generation.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+IndexSnapshot::IndexSnapshot(webapp::WebAppInfo app, bool has_app,
+                             std::vector<sql::SelectionAttribute> selection,
+                             FragmentIndexBuild build)
+    : app_(std::move(app)),
+      has_app_(has_app),
+      selection_(std::move(selection)),
+      build_(std::move(build)),
+      generation_(NextSnapshotGeneration()) {
+  std::size_t num_eq = 0;
+  for (const sql::SelectionAttribute& a : selection_) {
+    if (!a.is_range) ++num_eq;
+  }
+  graph_ = FragmentGraph::Build(build_.catalog, num_eq,
+                                selection_.size() - num_eq);
+}
+
+SnapshotPtr IndexSnapshot::Create(webapp::WebAppInfo app,
+                                  FragmentIndexBuild build) {
+  std::vector<sql::SelectionAttribute> selection =
+      app.query.SelectionAttributes();
+  return Create(std::move(app), std::move(selection), std::move(build));
+}
+
+SnapshotPtr IndexSnapshot::Create(
+    webapp::WebAppInfo app, std::vector<sql::SelectionAttribute> selection,
+    FragmentIndexBuild build) {
+  return SnapshotPtr(new IndexSnapshot(std::move(app), /*has_app=*/true,
+                                       std::move(selection),
+                                       std::move(build)));
+}
+
+SnapshotPtr IndexSnapshot::CreateWithoutApp(const sql::PsjQuery& query,
+                                            FragmentIndexBuild build) {
+  return SnapshotPtr(new IndexSnapshot(webapp::WebAppInfo{},
+                                       /*has_app=*/false,
+                                       query.SelectionAttributes(),
+                                       std::move(build)));
+}
+
+std::vector<SearchResult> IndexSnapshot::Search(
+    const std::vector<std::string>& keywords, int k,
+    std::uint64_t min_page_words, std::size_t max_seeds) const {
+  // The searcher only binds references into this snapshot, so constructing
+  // one per call is free and needs no synchronization.
+  TopKSearcher searcher(build_.index, build_.catalog, graph_, selection_,
+                        has_app_ ? &app_ : nullptr);
+  return searcher.Search(keywords, k, min_page_words, max_seeds);
+}
+
+SnapshotPublisher::SnapshotPublisher(SnapshotPtr initial) {
+  if (initial != nullptr) Publish(std::move(initial));
+}
+
+SnapshotPtr SnapshotPublisher::Current() const {
+  util::MutexLock lock(mutex_);
+  return current_;
+}
+
+void SnapshotPublisher::Publish(SnapshotPtr next) {
+  if (next == nullptr) {
+    throw std::invalid_argument("Publish: snapshot must not be null");
+  }
+  util::MutexLock lock(mutex_);
+  if (current_ != nullptr && next->generation() <= current_->generation()) {
+    throw std::logic_error("Publish: generations must increase");
+  }
+  current_ = std::move(next);
+}
+
+std::uint64_t SnapshotPublisher::CurrentGeneration() const {
+  util::MutexLock lock(mutex_);
+  return current_ == nullptr ? 0 : current_->generation();
+}
+
+}  // namespace dash::core

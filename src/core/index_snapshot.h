@@ -1,0 +1,117 @@
+// The immutable serving artifact and its publication point.
+//
+// Every serving layer (DashEngine, ShardedEngine, CachingEngine,
+// UpdatableIndex, MultiAppEngine, index_io) reads index state through one
+// type: an IndexSnapshot bundling the fragment catalog, the finalized
+// inverted fragment index, the fragment graph, the web-application info /
+// query-string codec, and a generation id. Snapshots are immutable after
+// construction and held by shared_ptr<const IndexSnapshot>, so
+//
+//   * readers acquire a snapshot once per query (one shared_ptr copy) and
+//     then run entirely lock-free — a search can never observe a torn
+//     index, only a whole snapshot from before or after an update;
+//   * builders (UpdatableIndex, a reload) prepare the next snapshot off to
+//     the side and hand it to a SnapshotPublisher, whose Publish() is an
+//     atomic pointer swap — writers never block readers;
+//   * caches key validity on the generation id: generations come from one
+//     process-wide counter, so a (generation, query) pair identifies its
+//     result set uniquely across all engines and no manual invalidation
+//     call is needed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fragment_graph.h"
+#include "core/inverted_index.h"
+#include "core/topk_search.h"
+#include "sql/psj_query.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "webapp/query_string.h"
+
+namespace dash::core {
+
+class IndexSnapshot;
+using SnapshotPtr = std::shared_ptr<const IndexSnapshot>;
+
+// Next process-wide generation id (strictly increasing, starting at 1,
+// never reused — not per publisher, so generations of unrelated engines
+// never collide in a shared cache).
+std::uint64_t NextSnapshotGeneration();
+
+class IndexSnapshot {
+ public:
+  // Builds a snapshot from a finalized index build. `selection` must match
+  // the catalog's identifier layout; the two-argument form derives it from
+  // the application's crawling query. The fragment graph is constructed
+  // here — after Create returns, the snapshot is fully self-contained.
+  static SnapshotPtr Create(webapp::WebAppInfo app, FragmentIndexBuild build);
+  static SnapshotPtr Create(webapp::WebAppInfo app,
+                            std::vector<sql::SelectionAttribute> selection,
+                            FragmentIndexBuild build);
+  // App-less snapshot (no URL formulation; Search leaves `url` empty), for
+  // updaters constructed from a bare crawling query.
+  static SnapshotPtr CreateWithoutApp(const sql::PsjQuery& query,
+                                      FragmentIndexBuild build);
+
+  std::uint64_t generation() const { return generation_; }
+  bool has_app() const { return has_app_; }
+  // Valid only when has_app().
+  const webapp::WebAppInfo& app() const { return app_; }
+  const FragmentIndexBuild& build() const { return build_; }
+  const FragmentCatalog& catalog() const { return build_.catalog; }
+  const InvertedFragmentIndex& index() const { return build_.index; }
+  const FragmentGraph& graph() const { return graph_; }
+  const std::vector<sql::SelectionAttribute>& selection() const {
+    return selection_;
+  }
+
+  // Top-k search against this snapshot (Algorithm 1; see topk_search.h for
+  // the parameters). Lock-free and safe from any number of threads.
+  std::vector<SearchResult> Search(const std::vector<std::string>& keywords,
+                                   int k, std::uint64_t min_page_words,
+                                   std::size_t max_seeds = 0) const;
+
+ private:
+  IndexSnapshot(webapp::WebAppInfo app, bool has_app,
+                std::vector<sql::SelectionAttribute> selection,
+                FragmentIndexBuild build);
+
+  webapp::WebAppInfo app_;
+  bool has_app_ = false;
+  std::vector<sql::SelectionAttribute> selection_;
+  FragmentIndexBuild build_;
+  FragmentGraph graph_;
+  std::uint64_t generation_ = 0;
+};
+
+// The swap point between one builder and any number of readers. Current()
+// costs one shared_ptr copy under a lightweight mutex (no search work ever
+// runs inside the lock), Publish() is the atomic swap. Generations must
+// increase monotonically across publications — feeding a stale snapshot
+// back is a logic error and throws.
+class SnapshotPublisher {
+ public:
+  SnapshotPublisher() = default;
+  explicit SnapshotPublisher(SnapshotPtr initial);
+
+  // The most recently published snapshot (null before the first Publish).
+  SnapshotPtr Current() const;
+
+  // Atomically replaces the served snapshot. In-flight readers keep their
+  // acquired snapshot alive via its reference count; new readers see
+  // `next` immediately.
+  void Publish(SnapshotPtr next);
+
+  // Generation of the current snapshot; 0 when nothing is published.
+  std::uint64_t CurrentGeneration() const;
+
+ private:
+  mutable util::Mutex mutex_;
+  SnapshotPtr current_ DASH_GUARDED_BY(mutex_);
+};
+
+}  // namespace dash::core

@@ -22,6 +22,17 @@ std::string_view RelationOf(std::string_view qualified) {
 
 UpdatableIndex::UpdatableIndex(db::Database db, sql::PsjQuery query)
     : db_(std::move(db)), query_(std::move(query)) {
+  Init();
+}
+
+UpdatableIndex::UpdatableIndex(db::Database db, webapp::WebAppInfo app)
+    // Members initialize in declaration order, so query_ copies app.query
+    // before app_ moves from it.
+    : db_(std::move(db)), query_(app.query), app_(std::move(app)) {
+  Init();
+}
+
+void UpdatableIndex::Init() {
   crawler_ = std::make_unique<Crawler>(db_, query_);
   for (const Fragment& frag : crawler_->DeriveFragments()) {
     MirrorFragment mirror;
@@ -35,6 +46,7 @@ UpdatableIndex::UpdatableIndex(db::Database db, sql::PsjQuery query)
     mirror.record_count = frag.rows.size();
     fragments_.emplace(frag.id, std::move(mirror));
   }
+  PublishSnapshot();
 }
 
 void UpdatableIndex::Insert(const std::string& relation, db::Row row) {
@@ -42,7 +54,7 @@ void UpdatableIndex::Insert(const std::string& relation, db::Row row) {
   // Affected fragments are determined on the new state: every joined row
   // the record now participates in carries an affected identifier.
   RecomputeFragments(AffectedFragments(relation, row));
-  InvalidateSnapshot();
+  PublishSnapshot();
 }
 
 void UpdatableIndex::Delete(const std::string& relation, const db::Row& row) {
@@ -53,7 +65,7 @@ void UpdatableIndex::Delete(const std::string& relation, const db::Row& row) {
     throw std::runtime_error("Delete: no matching row in '" + relation + "'");
   }
   RecomputeFragments(affected);
-  InvalidateSnapshot();
+  PublishSnapshot();
 }
 
 std::set<db::Row> UpdatableIndex::AffectedFragments(
@@ -190,13 +202,10 @@ void UpdatableIndex::RecomputeFragments(const std::set<db::Row>& ids) {
   }
 }
 
-void UpdatableIndex::InvalidateSnapshot() {
-  snapshot_.reset();
-  snapshot_graph_.reset();
-}
-
 FragmentIndexBuild UpdatableIndex::CopyBuild() const {
   FragmentIndexBuild copy;
+  // std::map iterates identifiers in ascending order, so interning here
+  // yields a canonical catalog directly.
   for (const auto& [id, mirror] : fragments_) {
     FragmentHandle f = copy.catalog.Intern(id);
     for (const auto& [keyword, count] : mirror.keyword_counts) {
@@ -208,31 +217,16 @@ FragmentIndexBuild UpdatableIndex::CopyBuild() const {
   return copy;
 }
 
-const FragmentIndexBuild& UpdatableIndex::build() const {
-  if (!snapshot_) {
-    snapshot_ = std::make_unique<FragmentIndexBuild>();
-    // std::map iterates identifiers in ascending order, so interning here
-    // yields a canonical catalog directly.
-    for (const auto& [id, mirror] : fragments_) {
-      FragmentHandle f = snapshot_->catalog.Intern(id);
-      for (const auto& [keyword, count] : mirror.keyword_counts) {
-        snapshot_->index.AddOccurrences(keyword, f,
-                                        static_cast<std::uint32_t>(count));
-      }
-    }
-    snapshot_->index.Finalize(&snapshot_->catalog);
-  }
-  return *snapshot_;
-}
-
-const FragmentGraph& UpdatableIndex::graph() const {
-  if (!snapshot_graph_) {
-    const FragmentIndexBuild& b = build();
-    snapshot_graph_ = std::make_unique<FragmentGraph>(FragmentGraph::Build(
-        b.catalog, crawler_->num_eq_attributes(),
-        crawler_->num_range_attributes()));
-  }
-  return *snapshot_graph_;
+void UpdatableIndex::PublishSnapshot() {
+  // Build the next snapshot entirely off to the side: concurrent readers
+  // keep searching the previous snapshot until the single pointer swap in
+  // Publish. An update therefore costs an in-memory re-materialization of
+  // the mirror — never a database recrawl — and readers never wait on it.
+  SnapshotPtr next = app_.has_value()
+                         ? IndexSnapshot::Create(*app_, CopyBuild())
+                         : IndexSnapshot::CreateWithoutApp(query_, CopyBuild());
+  publisher_.Publish(next);
+  current_ = std::move(next);
 }
 
 }  // namespace dash::core

@@ -16,48 +16,65 @@
 //      with the selection-attribute relations filtered to the affected
 //      identifier values (this also repairs outer-join padding transitions:
 //      a restaurant gaining its first comment loses its NULL-padded row);
-//   3. swaps the recomputed contents into the mirror.
+//   3. swaps the recomputed contents into the mirror, builds the next
+//      IndexSnapshot off to the side, and publishes it atomically.
 //
-// Search snapshots (InvertedFragmentIndex / FragmentGraph) are immutable by
-// design, so they are re-materialized lazily from the mirror on demand —
-// an in-memory reshuffle, not a database recrawl. Tests validate both the
-// equivalence with a full rebuild and that the number of recomputed
-// fragments stays far below the catalog size.
+// Serving state is an immutable IndexSnapshot behind a SnapshotPublisher:
+// a Search racing an Insert/Delete sees the snapshot from before or after
+// the update — never a torn index. Writers (Insert/Delete) must be
+// externally serialized; readers need no synchronization at all. Tests
+// validate both the equivalence with a full rebuild and that the number of
+// recomputed fragments stays far below the catalog size.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
-#include <unordered_map>
 
 #include "core/crawler.h"
-#include "core/fragment_graph.h"
-#include "core/inverted_index.h"
+#include "core/index_snapshot.h"
 #include "db/database.h"
+#include "webapp/query_string.h"
 
 namespace dash::core {
 
 class UpdatableIndex {
  public:
-  // Takes ownership of a database snapshot and builds the initial mirror
-  // with a full crawl.
+  // Takes ownership of a database snapshot and builds + publishes the
+  // initial snapshot with a full crawl. Snapshots published by this form
+  // carry no app info (search results have empty URLs).
   UpdatableIndex(db::Database db, sql::PsjQuery query);
 
-  // Appends `row` to `relation` and repairs the affected fragments.
+  // Same, but published snapshots carry `app` so searches formulate URLs.
+  UpdatableIndex(db::Database db, webapp::WebAppInfo app);
+
+  // Appends `row` to `relation`, repairs the affected fragments, and
+  // publishes the next snapshot.
   void Insert(const std::string& relation, db::Row row);
 
   // Removes the first row of `relation` equal to `row`; throws
-  // std::runtime_error when absent.
+  // std::runtime_error when absent. Publishes the next snapshot.
   void Delete(const std::string& relation, const db::Row& row);
 
   const db::Database& database() const { return db_; }
 
-  // Current searchable snapshot; re-materialized after updates.
-  const FragmentIndexBuild& build() const;
-  const FragmentGraph& graph() const;
+  // The currently published immutable snapshot. Safe to call (and to keep
+  // searching the result) from any thread while updates are applied.
+  SnapshotPtr snapshot() const { return publisher_.Current(); }
 
-  // Independent copy of the current snapshot, e.g. to hand to
+  // The publication point itself, e.g. to back a CachingEngine that must
+  // follow republications automatically.
+  const SnapshotPublisher& publisher() const { return publisher_; }
+
+  // Convenience accessors into the currently published snapshot. The
+  // references are invalidated by the next Insert/Delete — concurrent
+  // readers must hold a snapshot() instead.
+  const FragmentIndexBuild& build() const { return current_->build(); }
+  const FragmentGraph& graph() const { return current_->graph(); }
+
+  // Independent copy of the current index state, e.g. to hand to
   // DashEngine::FromParts for a serving engine that outlives this updater.
   FragmentIndexBuild CopyBuild() const;
 
@@ -75,21 +92,30 @@ class UpdatableIndex {
     std::size_t record_count = 0;
   };
 
+  // Shared tail of the constructors: crawls db_ into the mirror and
+  // publishes the first snapshot.
+  void Init();
+
   // Fragment identifiers of joined rows involving `row` (evaluated on the
   // current db_ state); superset-safe.
   std::set<db::Row> AffectedFragments(const std::string& relation,
                                       const db::Row& row) const;
   void RecomputeFragments(const std::set<db::Row>& ids);
-  void InvalidateSnapshot();
+
+  // Materializes the mirror into the next snapshot and publishes it.
+  void PublishSnapshot();
 
   db::Database db_;
   sql::PsjQuery query_;
+  std::optional<webapp::WebAppInfo> app_;
   std::unique_ptr<Crawler> crawler_;  // bound to db_
   std::map<db::Row, MirrorFragment> fragments_;
   std::size_t fragments_recomputed_ = 0;
 
-  mutable std::unique_ptr<FragmentIndexBuild> snapshot_;
-  mutable std::unique_ptr<FragmentGraph> snapshot_graph_;
+  SnapshotPublisher publisher_;
+  // Latest published snapshot, pinned so build()/graph() references stay
+  // valid between updates even if all external holders drop theirs.
+  SnapshotPtr current_;
 };
 
 }  // namespace dash::core

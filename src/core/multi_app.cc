@@ -16,6 +16,13 @@ void MultiAppEngine::AddApp(DashEngine engine) {
   engines_.push_back(std::move(engine));
 }
 
+void MultiAppEngine::AddApp(SnapshotPtr snapshot) {
+  if (snapshot == nullptr || !snapshot->has_app()) {
+    throw std::runtime_error("AddApp: snapshot must carry app info");
+  }
+  AddApp(DashEngine(std::move(snapshot)));
+}
+
 const DashEngine& MultiAppEngine::app(std::string_view name) const {
   for (const DashEngine& e : engines_) {
     if (e.app().name == name) return e;

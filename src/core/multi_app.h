@@ -28,8 +28,13 @@ struct MultiAppResult {
 
 class MultiAppEngine {
  public:
-  // Registers an application's engine. Names must be unique.
+  // Registers an application's engine. Names must be unique. An engine is
+  // a thin view over its IndexSnapshot, so federation holds shared
+  // snapshots, never index copies.
   void AddApp(DashEngine engine);
+
+  // Same, directly from a published snapshot (must carry app info).
+  void AddApp(SnapshotPtr snapshot);
 
   std::size_t app_count() const { return engines_.size(); }
   const DashEngine& app(std::string_view name) const;

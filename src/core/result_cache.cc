@@ -1,6 +1,7 @@
 #include "core/result_cache.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/csv.h"
 
@@ -18,11 +19,11 @@ std::string ResultCache::MakeKey(const std::vector<std::string>& keywords,
 
 std::optional<std::vector<SearchResult>> ResultCache::Lookup(
     const std::vector<std::string>& keywords, int k,
-    std::uint64_t min_page_words) {
+    std::uint64_t min_page_words, std::uint64_t generation) {
   std::string key = MakeKey(keywords, k, min_page_words);
   util::MutexLock lock(mutex_);
   auto it = map_.find(key);
-  if (it == map_.end() || it->second->generation != generation_) {
+  if (it == map_.end() || it->second->generation != generation) {
     ++stats_.misses;
     if (it != map_.end()) {  // stale entry from a previous generation
       lru_.erase(it->second);
@@ -37,6 +38,7 @@ std::optional<std::vector<SearchResult>> ResultCache::Lookup(
 
 void ResultCache::Insert(const std::vector<std::string>& keywords, int k,
                          std::uint64_t min_page_words,
+                         std::uint64_t generation,
                          std::vector<SearchResult> results) {
   if (capacity_ == 0) return;
   std::string key = MakeKey(keywords, k, min_page_words);
@@ -46,17 +48,12 @@ void ResultCache::Insert(const std::vector<std::string>& keywords, int k,
     lru_.erase(it->second);
     map_.erase(it);
   }
-  lru_.push_front(Entry{key, generation_, std::move(results)});
+  lru_.push_front(Entry{key, generation, std::move(results)});
   map_[std::move(key)] = lru_.begin();
   while (lru_.size() > capacity_) {
     map_.erase(lru_.back().key);
     lru_.pop_back();
   }
-}
-
-void ResultCache::Invalidate() {
-  util::MutexLock lock(mutex_);
-  ++generation_;
 }
 
 std::size_t ResultCache::size() const {
@@ -72,12 +69,21 @@ ResultCache::Stats ResultCache::stats() const {
 std::vector<SearchResult> CachingEngine::Search(
     const std::vector<std::string>& keywords, int k,
     std::uint64_t min_page_words) {
-  if (auto cached = cache_.Lookup(keywords, k, min_page_words)) {
+  // Acquire the live snapshot once; everything below — cache key and
+  // search — is consistent with that one generation even if a writer
+  // republishes mid-query.
+  SnapshotPtr snapshot =
+      publisher_ != nullptr ? publisher_->Current() : engine_->snapshot();
+  if (snapshot == nullptr) {
+    throw std::logic_error("CachingEngine: nothing published yet");
+  }
+  std::uint64_t generation = snapshot->generation();
+  if (auto cached = cache_.Lookup(keywords, k, min_page_words, generation)) {
     return std::move(*cached);
   }
   std::vector<SearchResult> results =
-      engine_.Search(keywords, k, min_page_words);
-  cache_.Insert(keywords, k, min_page_words, results);
+      snapshot->Search(keywords, k, min_page_words);
+  cache_.Insert(keywords, k, min_page_words, generation, results);
   return results;
 }
 

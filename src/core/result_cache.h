@@ -2,10 +2,13 @@
 //
 // Search engines answer a heavily skewed query distribution; caching the
 // (keywords, k, s) -> results mapping short-circuits repeated hot queries.
-// An LRU policy bounds memory, and a generation counter ties cache
-// validity to the index: bumping the generation (after an incremental
-// update or an index swap) invalidates everything at once without
-// touching entries.
+// An LRU policy bounds memory. Cache validity is tied to the index by the
+// snapshot generation id: every Lookup/Insert names the generation the
+// caller is serving, and an entry only hits for its own generation — the
+// moment a new snapshot is published, all older entries are stale, with no
+// manual invalidation call anywhere. Since generations are process-wide
+// unique (core/index_snapshot.h), entries of unrelated engines can never
+// collide either.
 #pragma once
 
 #include <cstdint>
@@ -36,18 +39,18 @@ class ResultCache {
     }
   };
 
-  // Returns the cached results for this query, or nullopt. Thread-safe.
+  // Returns the results cached for this query under snapshot `generation`,
+  // or nullopt (an entry from another generation is stale and evicted).
+  // Thread-safe.
   std::optional<std::vector<SearchResult>> Lookup(
       const std::vector<std::string>& keywords, int k,
-      std::uint64_t min_page_words);
+      std::uint64_t min_page_words, std::uint64_t generation);
 
-  // Stores results for this query (evicting the least recently used entry
-  // beyond capacity). Thread-safe.
+  // Stores results computed against snapshot `generation` (evicting the
+  // least recently used entry beyond capacity). Thread-safe.
   void Insert(const std::vector<std::string>& keywords, int k,
-              std::uint64_t min_page_words, std::vector<SearchResult> results);
-
-  // Invalidates every entry (call after the index changes).
-  void Invalidate();
+              std::uint64_t min_page_words, std::uint64_t generation,
+              std::vector<SearchResult> results);
 
   std::size_t size() const;
   Stats stats() const;
@@ -64,7 +67,6 @@ class ResultCache {
 
   mutable util::Mutex mutex_;
   const std::size_t capacity_;  // immutable after construction: no lock
-  std::uint64_t generation_ DASH_GUARDED_BY(mutex_) = 0;
   // front = most recent
   std::list<Entry> lru_ DASH_GUARDED_BY(mutex_);
   std::unordered_map<std::string, std::list<Entry>::iterator> map_
@@ -72,22 +74,32 @@ class ResultCache {
   Stats stats_ DASH_GUARDED_BY(mutex_);
 };
 
-// A DashEngine paired with a ResultCache: the drop-in serving wrapper.
+// A serving engine paired with a ResultCache: the drop-in caching wrapper.
+// Each Search acquires the live snapshot once, and the cache keys on its
+// generation — after a republication (UpdatableIndex update, engine
+// reassignment, reload) stale entries miss automatically.
 class CachingEngine {
  public:
+  // Serves the engine's snapshot (re-read per query, so reassigning the
+  // engine to a new snapshot is picked up automatically).
   CachingEngine(const DashEngine& engine, std::size_t cache_capacity)
-      : engine_(engine), cache_(cache_capacity) {}
+      : engine_(&engine), cache_(cache_capacity) {}
+
+  // Follows a live publication point: every query serves whatever snapshot
+  // is currently published (e.g. UpdatableIndex::publisher()).
+  CachingEngine(const SnapshotPublisher& publisher,
+                std::size_t cache_capacity)
+      : publisher_(&publisher), cache_(cache_capacity) {}
 
   std::vector<SearchResult> Search(const std::vector<std::string>& keywords,
                                    int k, std::uint64_t min_page_words);
 
-  // Call when the underlying engine's index has been swapped/updated.
-  void OnIndexChanged() { cache_.Invalidate(); }
-
   const ResultCache& cache() const { return cache_; }
 
  private:
-  const DashEngine& engine_;
+  // Exactly one of engine_/publisher_ is set.
+  const DashEngine* engine_ = nullptr;
+  const SnapshotPublisher* publisher_ = nullptr;
   ResultCache cache_;
 };
 

@@ -1,7 +1,6 @@
 #include "core/sharded_engine.h"
 
 #include <algorithm>
-#include <memory>
 #include <stdexcept>
 
 namespace dash::core {
@@ -26,119 +25,110 @@ std::size_t ShardOf(const db::Row& id, std::size_t num_eq,
 
 ShardedEngine::ShardedEngine(webapp::WebAppInfo app, FragmentIndexBuild build,
                              int num_shards, util::ThreadPool* pool)
-    : pool_(pool) {
+    : ShardedEngine(IndexSnapshot::Create(std::move(app), std::move(build)),
+                    num_shards, pool) {}
+
+ShardedEngine::ShardedEngine(SnapshotPtr snapshot, int num_shards,
+                             util::ThreadPool* pool)
+    : snapshot_(std::move(snapshot)), pool_(pool) {
   if (num_shards < 1) {
     throw std::invalid_argument("need at least one shard");
   }
-  std::size_t num_eq = 0;
-  for (const sql::SelectionAttribute& a : app.query.SelectionAttributes()) {
-    if (!a.is_range) ++num_eq;
+  if (snapshot_ == nullptr) {
+    throw std::invalid_argument("ShardedEngine: snapshot must not be null");
+  }
+  shard_count_ = static_cast<std::size_t>(num_shards);
+
+  // Route each fragment to its shard.
+  const FragmentCatalog& catalog = snapshot_->catalog();
+  const std::size_t num_eq = snapshot_->graph().num_eq_attributes();
+  shard_of_.resize(catalog.size());
+  shard_sizes_.assign(shard_count_, 0);
+  for (std::size_t f = 0; f < catalog.size(); ++f) {
+    auto handle = static_cast<FragmentHandle>(f);
+    shard_of_[f] = static_cast<std::uint32_t>(
+        ShardOf(catalog.id(handle), num_eq, shard_count_));
+    ++shard_sizes_[shard_of_[f]];
   }
 
-  // Route each fragment to its shard; ascending handle order keeps every
-  // shard catalog canonical.
-  const std::size_t n = static_cast<std::size_t>(num_shards);
-  std::vector<FragmentIndexBuild> parts(n);
-  std::vector<std::pair<std::size_t, FragmentHandle>> route(
-      build.catalog.size());
-  for (std::size_t f = 0; f < build.catalog.size(); ++f) {
-    auto handle = static_cast<FragmentHandle>(f);
-    std::size_t shard = ShardOf(build.catalog.id(handle), num_eq, n);
-    route[f] = {shard, parts[shard].catalog.Intern(build.catalog.id(handle))};
+  // Rearrange the index's by-fragment pool into per-(term, shard) groups:
+  // a per-term stable counting sort on the shard key keeps each group
+  // fragment-ascending. Terms are independent, so the sort scatters
+  // across the pool; each task writes only its own term's pool slice and
+  // offset row (disjoint slots, ParallelFor's join is the read barrier —
+  // the same invariant the old per-shard build relied on).
+  const InvertedFragmentIndex& index = snapshot_->index();
+  const std::size_t terms = index.keyword_count();
+  const std::size_t row = shard_count_ + 1;
+  seed_offsets_.assign(terms * row, 0);
+  std::vector<std::uint32_t> term_base(terms, 0);
+  std::uint32_t base = 0;
+  for (std::size_t t = 0; t < terms; ++t) {
+    term_base[t] = base;
+    base += static_cast<std::uint32_t>(
+        index.PostingsByFragment(static_cast<util::TermId>(t)).size());
   }
-  for (const auto& [keyword, df] : build.index.KeywordsByDf()) {
-    global_df_[keyword] = df;
-    for (const Posting& p : build.index.Lookup(keyword)) {
-      auto [shard, local] = route[p.fragment];
-      parts[shard].index.AddOccurrences(keyword, local, p.occurrences);
+  seed_pool_.resize(base);
+  this->pool().ParallelFor(terms, [&](std::size_t t) {
+    std::span<const Posting> span =
+        index.PostingsByFragment(static_cast<util::TermId>(t));
+    std::uint32_t* off = &seed_offsets_[t * row];
+    for (const Posting& p : span) ++off[shard_of_[p.fragment] + 1];
+    off[0] = term_base[t];
+    for (std::size_t s = 1; s <= shard_count_; ++s) off[s] += off[s - 1];
+    // Reused per worker thread so the placement pass allocates nothing in
+    // steady state (the construction-cost test counts on this).
+    static thread_local std::vector<std::uint32_t> cursor;
+    cursor.assign(off, off + shard_count_);
+    for (const Posting& p : span) {
+      seed_pool_[cursor[shard_of_[p.fragment]]++] = p;
     }
-  }
-  // Finalize + graph construction are per-shard independent: scatter the
-  // build work, then assemble shards_ in index order (determinism).
-  //
-  // Concurrency invariant (checked by inspection, enforced by tsan + the
-  // thread_pool_test byte-identity suite rather than a lock): each pool
-  // task s writes only built[s] and parts[s] — disjoint slots in vectors
-  // sized before the scatter — and ParallelFor's join is the only reader
-  // barrier. No mutex, so there is nothing for -Wthread-safety to prove
-  // here; keep it that way (adding cross-slot writes would need a
-  // dash::Mutex + GUARDED_BY).
-  std::vector<std::unique_ptr<DashEngine>> built(n);
-  this->pool().ParallelFor(n, [&](std::size_t s) {
-    parts[s].index.Finalize(&parts[s].catalog);
-    built[s] = std::make_unique<DashEngine>(
-        DashEngine::FromParts(app, std::move(parts[s])));
   });
-  shards_.reserve(n);
-  for (std::unique_ptr<DashEngine>& engine : built) {
-    shards_.push_back(std::move(*engine));
-  }
 }
 
-std::size_t ShardedEngine::fragment_count() const {
-  std::size_t total = 0;
-  for (const DashEngine& shard : shards_) total += shard.catalog().size();
-  return total;
+std::span<const Posting> ShardedEngine::SeedSpan(util::TermId term,
+                                                 std::size_t shard) const {
+  if (term == util::kInvalidTermId) return {};
+  const std::uint32_t* off = &seed_offsets_[term * (shard_count_ + 1)];
+  return {seed_pool_.data() + off[shard], off[shard + 1] - off[shard]};
 }
 
 std::vector<SearchResult> ShardedEngine::Search(
     const std::vector<std::string>& keywords, int k,
     std::uint64_t min_page_words) const {
-  // Globally consistent IDF from the partition-time document frequencies.
-  IdfProvider idf = [this](const std::string& keyword) {
-    auto it = global_df_.find(keyword);
-    return it == global_df_.end() || it->second == 0
-               ? 0.0
-               : 1.0 / static_cast<double>(it->second);
-  };
-
-  // Scatter: every shard computes its local top-k with global scoring, on
-  // the persistent pool (each shard's index is independent and searching
-  // is const; per_shard slots make the gather order thread-count-free).
-  // Same disjoint-slot invariant as the build phase: task s writes only
-  // per_shard[s], ParallelFor joins before the gather reads.
-  std::vector<std::vector<SearchResult>> per_shard(shards_.size());
-  pool().ParallelFor(shards_.size(), [&](std::size_t s) {
-    const DashEngine& shard = shards_[s];
-    TopKSearcher searcher(shard.index(), shard.catalog(), shard.graph(),
-                          shard.selection(), &shard.app(), idf);
+  // Scatter: every shard computes its local top-k against the shared
+  // snapshot, restricted to its own fragments via the seed spans. IDF
+  // needs no correction — the shared index's df IS the global df. Each
+  // task writes only per_shard[s]; ParallelFor joins before the gather
+  // reads, so the merge order is thread-count-free.
+  const IndexSnapshot& snap = *snapshot_;
+  std::vector<std::vector<SearchResult>> per_shard(shard_count_);
+  pool().ParallelFor(shard_count_, [&](std::size_t s) {
+    TopKSearcher searcher(
+        snap.index(), snap.catalog(), snap.graph(), snap.selection(),
+        snap.has_app() ? &snap.app() : nullptr, /*idf=*/nullptr,
+        [this, s](util::TermId term) { return SeedSpan(term, s); });
     per_shard[s] = searcher.Search(keywords, k, min_page_words);
   });
-  // Gather: merge by score and keep k. Ties break on the members'
-  // fragment identifiers — shard-local handles are not comparable across
-  // shards, but identifier rows are, and within one shard ascending
-  // handles == ascending identifiers (canonical catalogs). This makes the
-  // merged order identical to what an unsharded searcher reports, URLs
-  // included (distinct member sets can render the same URL).
-  struct Gathered {
-    SearchResult result;
-    std::vector<db::Row> member_ids;
-  };
-  std::vector<Gathered> merged;
-  for (std::size_t s = 0; s < per_shard.size(); ++s) {
-    const FragmentCatalog& catalog = shards_[s].catalog();
-    for (SearchResult& r : per_shard[s]) {
-      Gathered g;
-      g.member_ids.reserve(r.fragments.size());
-      for (FragmentHandle f : r.fragments) g.member_ids.push_back(catalog.id(f));
-      g.result = std::move(r);
-      merged.push_back(std::move(g));
-    }
+  // Gather: merge by score and keep k. Every shard reports *global*
+  // fragment handles, and ascending handles == ascending identifier rows
+  // in a canonical catalog, so sorting on (score desc, fragments asc)
+  // reproduces exactly what an unsharded searcher reports (its own output
+  // order uses the same key). Member sets never repeat across shards —
+  // shards partition the fragments — so the key is unique.
+  std::vector<SearchResult> merged;
+  for (std::vector<SearchResult>& shard_results : per_shard) {
+    for (SearchResult& r : shard_results) merged.push_back(std::move(r));
   }
   std::sort(merged.begin(), merged.end(),
-            [](const Gathered& a, const Gathered& b) {
-              if (a.result.score != b.result.score) {
-                return a.result.score > b.result.score;
-              }
-              return a.member_ids < b.member_ids;
+            [](const SearchResult& a, const SearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.fragments < b.fragments;
             });
   if (k >= 0 && merged.size() > static_cast<std::size_t>(k)) {
     merged.resize(static_cast<std::size_t>(k));
   }
-  std::vector<SearchResult> out;
-  out.reserve(merged.size());
-  for (Gathered& g : merged) out.push_back(std::move(g.result));
-  return out;
+  return merged;
 }
 
 }  // namespace dash::core

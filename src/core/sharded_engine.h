@@ -2,8 +2,7 @@
 //
 // Dash is built for cluster deployment (its crawl/index pipelines are
 // MapReduce jobs); this is the serving-side counterpart: the fragment
-// index partitioned across N shards so each node holds and searches a
-// slice.
+// index partitioned across N shards so each node searches a slice.
 //
 // Partitioning is by *equality group*: fragments sharing an equality-value
 // prefix are assigned to the same shard (hash of the prefix modulo N).
@@ -14,9 +13,15 @@
 // so whenever page scores are monotone under expansion; see the
 // monotonicity note in topk_search.h for the edge case).
 //
-// Scores stay globally comparable because every shard scores with the
-// *global* document frequencies (captured at partitioning time), not its
-// local ones — the standard distributed-IR correction.
+// All shards share ONE immutable IndexSnapshot — catalog, inverted index
+// (and so the interned term dictionary), fragment graph, and app info.
+// Nothing is deep-copied per shard. A shard is just a view: a per-fragment
+// shard assignment plus, for every (term, shard) pair, a contiguous
+// fragment-ascending slice of one rearranged posting pool that the
+// searcher uses as its seed span (TopKSearcher::SeedSpanSource). Since the
+// graph never crosses equality groups, a shard's searcher can probe the
+// global structures and still stay entirely inside its slice. Scores are
+// globally comparable for free: IDF comes from the shared global index.
 //
 // Scatter-gather runs on a persistent util::ThreadPool (per-query thread
 // spawning costs more than a warm shard search). Results are independent
@@ -24,8 +29,8 @@
 // merge is a deterministic sort.
 #pragma once
 
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/dash_engine.h"
@@ -35,32 +40,58 @@ namespace dash::core {
 
 class ShardedEngine {
  public:
-  // Partitions `build` into `num_shards` shards. The app info is shared by
-  // all shards (URL formulation is shard-independent). Shard finalization
-  // and graph construction are distributed across `pool` (default: the
-  // process-wide shared pool), which also serves Search's scatter phase.
+  // Partitions the build into `num_shards` shard views over one shared
+  // snapshot. Shard-view construction (a counting sort of the posting
+  // pool) is distributed across `pool` (default: the process-wide shared
+  // pool), which also serves Search's scatter phase.
   ShardedEngine(webapp::WebAppInfo app, FragmentIndexBuild build,
                 int num_shards, util::ThreadPool* pool = nullptr);
 
-  std::size_t shard_count() const { return shards_.size(); }
-  const DashEngine& shard(std::size_t i) const { return shards_[i]; }
+  // Shares an already-published snapshot: no index state is copied at all.
+  explicit ShardedEngine(SnapshotPtr snapshot, int num_shards,
+                         util::ThreadPool* pool = nullptr);
+
+  std::size_t shard_count() const { return shard_count_; }
+  // Shard holding `fragment` (a handle into the shared snapshot catalog).
+  std::size_t shard_of(FragmentHandle fragment) const {
+    return shard_of_[fragment];
+  }
+  // Number of fragments assigned to `shard`.
+  std::size_t shard_fragment_count(std::size_t shard) const {
+    return shard_sizes_[shard];
+  }
+  // The snapshot all shards serve from.
+  const SnapshotPtr& snapshot() const { return snapshot_; }
 
   // Exact global top-k: scatter to all shards, gather, merge by score.
   std::vector<SearchResult> Search(const std::vector<std::string>& keywords,
                                    int k,
                                    std::uint64_t min_page_words) const;
 
-  // Total fragments across shards (== the input build's catalog size).
-  std::size_t fragment_count() const;
+  // Total fragments across shards (== the snapshot's catalog size).
+  std::size_t fragment_count() const { return snapshot_->catalog().size(); }
 
  private:
+  // Fragment-ascending postings of `term` that live in `shard`.
+  std::span<const Posting> SeedSpan(util::TermId term,
+                                    std::size_t shard) const;
+
   util::ThreadPool& pool() const {
     return pool_ != nullptr ? *pool_ : util::ThreadPool::Shared();
   }
 
-  std::vector<DashEngine> shards_;
-  // Global keyword -> document frequency, for cross-shard-consistent IDF.
-  std::unordered_map<std::string, std::size_t> global_df_;
+  SnapshotPtr snapshot_;
+  std::size_t shard_count_ = 0;
+  std::vector<std::uint32_t> shard_of_;    // fragment -> shard
+  std::vector<std::size_t> shard_sizes_;   // shard -> fragment count
+  // The index's by-fragment posting pool rearranged term-major, grouped by
+  // shard, fragment-ascending within each group — every (term, shard) seed
+  // span is one contiguous slice. Same total size as the source pool, so
+  // sharding costs one pool regardless of N.
+  std::vector<Posting> seed_pool_;
+  // (shard_count_ + 1) offsets per term into seed_pool_: entry s is the
+  // start of term's shard-s group, entry shard_count_ its end.
+  std::vector<std::uint32_t> seed_offsets_;
   util::ThreadPool* pool_ = nullptr;  // not owned; nullptr = shared pool
 };
 

@@ -171,13 +171,15 @@ TopKSearcher::TopKSearcher(const InvertedFragmentIndex& index,
                            const FragmentCatalog& catalog,
                            const FragmentGraph& graph,
                            std::vector<sql::SelectionAttribute> selection,
-                           const webapp::WebAppInfo* app, IdfProvider idf)
+                           const webapp::WebAppInfo* app, IdfProvider idf,
+                           SeedSpanSource seed_spans)
     : index_(index),
       catalog_(catalog),
       graph_(graph),
       selection_(std::move(selection)),
       app_(app),
-      idf_(std::move(idf)) {}
+      idf_(std::move(idf)),
+      seed_spans_(std::move(seed_spans)) {}
 
 std::vector<SearchResult> TopKSearcher::Search(
     const std::vector<std::string>& keywords, int k,
@@ -204,8 +206,12 @@ std::vector<SearchResult> TopKSearcher::Search(
   std::vector<FragmentHandle> relevant;
   std::size_t relevant_cap = 0;
   for (std::size_t t = 0; t < terms.size(); ++t) {
+    // IDF always comes from the full index (or the explicit override) —
+    // a restricted seed span must not shrink document frequencies.
     postings[t].idf = idf_ ? idf_(terms[t]) : index_.IdfId(term_ids[t]);
-    postings[t].by_frag = index_.PostingsByFragment(term_ids[t]);
+    postings[t].by_frag = seed_spans_
+                              ? seed_spans_(term_ids[t])
+                              : index_.PostingsByFragment(term_ids[t]);
     relevant_cap += postings[t].by_frag.size();
     if (postings[t].by_frag.size() * 8 >= catalog_.size()) {
       postings[t].dense.assign(catalog_.size(), 0);

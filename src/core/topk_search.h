@@ -47,22 +47,33 @@ struct SearchResult {
   std::string url;
 };
 
-// Supplies IDF values; lets a sharded deployment score with *global*
-// document frequencies while searching a shard-local index (per-shard df
-// would make scores incomparable across shards).
+// Supplies IDF values; lets a caller override the index's own document
+// frequencies (e.g. to score a pruned index with the unpruned df).
 using IdfProvider = std::function<double(const std::string& keyword)>;
+
+// Restricts a query term's fragment-sorted posting span. The sharded
+// engine passes per-(term, shard) views into one shared pool so each
+// shard seeds — and probes — only its own fragments while borrowing the
+// global index, catalog and graph (no per-shard index copy). The returned
+// span must be fragment-ascending and a subset of the index's own
+// PostingsByFragment span; util::kInvalidTermId must yield an empty span.
+using SeedSpanSource =
+    std::function<std::span<const Posting>(util::TermId term)>;
 
 class TopKSearcher {
  public:
   // All referenced objects must outlive the searcher. `app` may be null
   // (no URL formulation). `selection` must match the catalog's identifier
   // layout (Crawler::selection()). `idf` overrides the index's own IDF
-  // when provided.
+  // when provided; `seed_spans` overrides the per-term posting spans (see
+  // SeedSpanSource — only sound when every graph-reachable occurrence of
+  // each term lies inside the restricted span, as equality-group sharding
+  // guarantees).
   TopKSearcher(const InvertedFragmentIndex& index,
                const FragmentCatalog& catalog, const FragmentGraph& graph,
                std::vector<sql::SelectionAttribute> selection,
                const webapp::WebAppInfo* app = nullptr,
-               IdfProvider idf = nullptr);
+               IdfProvider idf = nullptr, SeedSpanSource seed_spans = nullptr);
 
   // Returns at most k db-pages relevant to `keywords` (each input string
   // is tokenized with the indexing tokenizer, so "Burger Experts" queries
@@ -86,6 +97,7 @@ class TopKSearcher {
   std::vector<sql::SelectionAttribute> selection_;
   const webapp::WebAppInfo* app_;
   IdfProvider idf_;
+  SeedSpanSource seed_spans_;
 };
 
 }  // namespace dash::core

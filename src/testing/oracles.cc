@@ -651,6 +651,14 @@ OracleReport CheckInstance(const RandomInstance& inst,
       core::UpdatableIndex updatable(inst.db, inst.app.query);
       std::vector<std::string> tables = inst.db.TableNames();
       for (int op = 0; op < options.update_ops; ++op) {
+        // Invariant: publish-then-search == search-then-publish. Snapshots
+        // are immutable once published, so a probe answered before an
+        // update must be answered byte-identically by the *same* snapshot
+        // after the update has published a successor.
+        core::SnapshotPtr pre = updatable.snapshot();
+        std::vector<std::string> probe = SampleKeywords(rng);
+        auto pre_results = pre->Search(probe, 5, 20);
+
         const std::string& name = tables[rng.Below(tables.size())];
         const db::Table& table = updatable.database().table(name);
         bool insert = table.row_count() == 0 || rng.NextDouble() < 0.6;
@@ -695,6 +703,27 @@ OracleReport CheckInstance(const RandomInstance& inst,
           updatable.Delete(name, copy);
           what = "delete from " + name;
         }
+        auto replay = pre->Search(probe, 5, 20);
+        bool frozen = replay.size() == pre_results.size();
+        for (std::size_t i = 0; frozen && i < replay.size(); ++i) {
+          frozen = replay[i].url == pre_results[i].url &&
+                   replay[i].fragments == pre_results[i].fragments &&
+                   replay[i].score == pre_results[i].score;
+        }
+        if (!frozen) {
+          fail("after " + what + " (op " + std::to_string(op) +
+               "): the pre-update snapshot's answer for '" + Join(probe) +
+               "' changed — published snapshots must be immutable");
+          return;
+        }
+        if (updatable.snapshot()->generation() <= pre->generation()) {
+          fail("after " + what + " (op " + std::to_string(op) +
+               "): published generation did not increase (" +
+               std::to_string(updatable.snapshot()->generation()) + " vs " +
+               std::to_string(pre->generation()) + ")");
+          return;
+        }
+
         Crawler rebuilt(updatable.database(), inst.app.query);
         if (Fingerprint(updatable.build().catalog, updatable.build().index) !=
             Fingerprint(rebuilt.BuildIndex())) {

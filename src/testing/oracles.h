@@ -8,8 +8,11 @@
 //   2. the "intuitive" whole-page baseline (baseline::PageEngine);
 //   3. the fragment-index engine under test (core::DashEngine).
 //
-// plus five metamorphic invariants: SW crawl == INT crawl == reference,
-// incremental UpdatableIndex == full rebuild, ShardedEngine == unsharded,
+// plus six metamorphic invariants: SW crawl == INT crawl == reference,
+// incremental UpdatableIndex == full rebuild, publish-then-search ==
+// search-then-publish (a snapshot captured before an incremental update
+// answers probes byte-identically after its successor publishes, and
+// generations strictly increase), ShardedEngine == unsharded,
 // serialized-then-loaded == in-memory, and fragment-graph edges == the
 // definition-checked empty-box combinability test.
 //

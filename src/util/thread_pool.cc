@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 namespace dash::util {
@@ -31,6 +32,18 @@ void ThreadPool::Enqueue(std::function<void()> job) {
     jobs_.push(std::move(job));
   }
   wake_.NotifyOne();
+}
+
+bool ThreadPool::RunOneJob() {
+  std::function<void()> job;
+  {
+    MutexLock lock(mutex_);
+    if (jobs_.empty()) return false;
+    job = std::move(jobs_.front());
+    jobs_.pop();
+  }
+  job();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -87,7 +100,21 @@ void ThreadPool::ParallelFor(std::size_t n,
     done.push_back(Submit([state, drain] { drain(state); }));
   }
   drain(state);
-  for (std::future<void>& f : done) f.get();
+  // Wait for the helpers — but keep executing queued jobs meanwhile. A
+  // helper may sit in the queue behind other tasks, including the helpers
+  // of *other* in-flight ParallelFor calls; if every thread blocked in
+  // get() here, mutually nested calls could starve each other with all
+  // their helpers queued and nobody left to run them. Helping from the
+  // wait loop guarantees queue progress no matter how calls nest.
+  for (std::future<void>& f : done) {
+    while (f.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!RunOneJob()) {
+        f.wait_for(std::chrono::milliseconds(1));
+      }
+    }
+    f.get();
+  }
   // Every helper has joined, but the analysis (rightly) still demands the
   // lock to read the guarded slot.
   std::exception_ptr error;

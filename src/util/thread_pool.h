@@ -7,9 +7,12 @@
 //
 //   pool.Submit(fn)        -> std::future (exceptions propagate via get())
 //   pool.ParallelFor(n, f) -> runs f(0..n-1); the *calling* thread also
-//                             executes chunks, so nesting ParallelFor from
-//                             inside a pool task cannot deadlock, and a
-//                             pool of size 0/1 degrades to a plain loop.
+//                             executes chunks and, while waiting for its
+//                             helpers, keeps executing other queued jobs —
+//                             so arbitrarily nested ParallelFor calls
+//                             (even with every worker itself inside one)
+//                             cannot deadlock, and a pool of size 0/1
+//                             degrades to a plain loop.
 //
 // ParallelFor rethrows the first exception raised by any index (remaining
 // indices may still run). The destructor drains the queue and joins.
@@ -65,6 +68,10 @@ class ThreadPool {
 
  private:
   void Enqueue(std::function<void()> job) DASH_EXCLUDES(mutex_);
+  // Pops and runs one queued job on the calling thread; false when the
+  // queue was empty. ParallelFor's wait loop uses this to keep the queue
+  // draining while blocked on its helpers.
+  bool RunOneJob() DASH_EXCLUDES(mutex_);
   void WorkerLoop() DASH_EXCLUDES(mutex_);
 
   Mutex mutex_;

@@ -75,19 +75,19 @@ TEST(Composition, UpdateThenShardThenSearch) {
 
 TEST(Composition, UpdateInvalidatesResultCache) {
   webapp::WebAppInfo app = dash::testing::MakeSearchApp();
-  UpdatableIndex updatable(dash::testing::MakeFoodDb(), app.query);
+  UpdatableIndex updatable(dash::testing::MakeFoodDb(), app);
 
-  DashEngine engine = DashEngine::FromParts(app, updatable.CopyBuild());
-  CachingEngine caching(engine, 16);
+  // The cache follows the updater's publication point; entries key on the
+  // published snapshot's generation.
+  CachingEngine caching(updatable.publisher(), 16);
   EXPECT_TRUE(caching.Search({"shiny"}, 1, 1).empty());
 
-  // The database changes; a fresh engine serves the new index and the
-  // cache is invalidated (stale empty answer must not stick).
+  // The database changes; the updater publishes a new snapshot and the
+  // cached entry goes stale automatically (stale empty answer must not
+  // stick — no invalidation call anywhere).
   updatable.Insert("restaurant", {9, "Shiny Diner", "American", 13, 4.9});
-  DashEngine updated = DashEngine::FromParts(app, updatable.CopyBuild());
-  CachingEngine updated_caching(updated, 16);
-  updated_caching.OnIndexChanged();
-  EXPECT_EQ(updated_caching.Search({"shiny"}, 1, 1).size(), 1u);
+  EXPECT_EQ(caching.Search({"shiny"}, 1, 1).size(), 1u);
+  EXPECT_EQ(caching.cache().stats().hits, 0u);
 }
 
 TEST(Composition, PrunedShardedAgreesWithPrunedSingle) {

@@ -250,6 +250,58 @@ void Save(std::ostream& out);
                        "#include <iostream>\n").violations.empty());
 }
 
+// --------------------------------------------------------------- layer-cycle
+
+TEST(LayerCycle, FlagsUpwardInclude) {
+  Report r = LintFile("src/db/table.cc", R"cc(
+#include "core/dash_engine.h"
+#include "util/mutex.h"
+)cc");
+  ASSERT_EQ(Rules(r), (std::vector<std::string>{"layer-cycle"}));
+  EXPECT_EQ(r.violations[0].line, 2);
+}
+
+TEST(LayerCycle, DownwardAndSameLayerIncludesAreClean) {
+  Report r = LintFile("src/core/dash_engine.cc", R"cc(
+#include "core/index_snapshot.h"
+#include "db/database.h"
+#include "mapreduce/mr_crawl.h"
+#include "sql/parser.h"
+#include "util/thread_pool.h"
+#include "webapp/query_string.h"
+#include <vector>
+)cc");
+  EXPECT_FALSE(HasRule(r, "layer-cycle"));
+}
+
+TEST(LayerCycle, SiblingLayersMayNotIncludeEachOther) {
+  // sql and tpch share a rank; neither direction is allowed.
+  EXPECT_TRUE(HasRule(LintFile("src/sql/parser.cc",
+                               "#include \"tpch/tpch.h\"\n"),
+                      "layer-cycle"));
+  EXPECT_TRUE(HasRule(LintFile("src/tpch/tpch.cc",
+                               "#include \"sql/parser.h\"\n"),
+                      "layer-cycle"));
+}
+
+TEST(LayerCycle, ToolsSitAboveEverything) {
+  Report r = LintFile("tools/dash_fuzz.cc", R"cc(
+#include "testing/oracles.h"
+#include "core/dash_engine.h"
+#include "dash_lint_lib.h"
+)cc");
+  EXPECT_FALSE(HasRule(r, "layer-cycle"));
+}
+
+TEST(LayerCycle, NonLayerTargetsAndSystemHeadersAreIgnored) {
+  Report r = LintFile("src/db/table.cc", R"cc(
+#include <core/fake.h>
+#include "third_party/core.h"
+#include "sibling_header.h"
+)cc");
+  EXPECT_FALSE(HasRule(r, "layer-cycle"));
+}
+
 // ------------------------------------------------------------- escape hatch
 
 TEST(EscapeHatch, SameLineAndPreviousLineAllowSuppress) {
@@ -307,7 +359,8 @@ TEST(Scanner, DiagnosticFormatIsMachineReadable) {
 TEST(Scanner, RuleCatalogNamesEveryRule) {
   std::string catalog = RuleCatalog();
   for (const char* rule : {"raw-thread", "nondeterminism", "unordered-iter",
-                           "global-state", "iostream-hotpath"}) {
+                           "global-state", "iostream-hotpath",
+                           "layer-cycle"}) {
     EXPECT_NE(catalog.find(rule), std::string::npos) << rule;
   }
 }

@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "testing/instance_gen.h"
 #include "testing/oracles.h"
+#include "util/thread_pool.h"
 
 namespace dash::testing {
 namespace {
@@ -17,13 +20,26 @@ namespace {
 // `dash_fuzz --seed N`.
 std::uint64_t WorkloadSeed(std::uint64_t seed) { return seed ^ 0x5EEDF00DULL; }
 
+// Seeds are independent, so the range fans out over the shared worker
+// pool (like `dash_fuzz --threads`); each seed's check stays bit-for-bit
+// deterministic and failures are reported in seed order.
 void CheckSeedRange(std::uint64_t first, std::uint64_t last) {
-  for (std::uint64_t seed = first; seed <= last; ++seed) {
+  const std::size_t count = static_cast<std::size_t>(last - first + 1);
+  std::vector<std::string> failures(count);
+  util::ThreadPool::Shared().ParallelFor(count, [&](std::size_t i) {
+    std::uint64_t seed = first + i;
     RandomInstance inst = GenerateInstance(seed);
     OracleReport report = CheckInstance(inst, WorkloadSeed(seed));
-    EXPECT_TRUE(report.ok()) << "replay: dash_fuzz --seed " << seed << "\n"
-                             << report.ToString();
-    if (!report.ok()) return;  // one seed's dump is enough to debug
+    if (!report.ok()) {
+      failures[i] = "replay: dash_fuzz --seed " + std::to_string(seed) +
+                    "\n" + report.ToString();
+    }
+  });
+  for (const std::string& failure : failures) {
+    if (!failure.empty()) {
+      ADD_FAILURE() << failure;
+      return;  // one seed's dump is enough to debug
+    }
   }
 }
 

@@ -55,73 +55,66 @@ TEST(ResultCache, KeywordOrderDoesNotMatter) {
 
 TEST(ResultCache, LruEvicts) {
   ResultCache cache(2);
-  cache.Insert({"a"}, 1, 1, {});
-  cache.Insert({"b"}, 1, 1, {});
-  ASSERT_TRUE(cache.Lookup({"a"}, 1, 1).has_value());  // touch a
-  cache.Insert({"c"}, 1, 1, {});                       // evicts b
-  EXPECT_TRUE(cache.Lookup({"a"}, 1, 1).has_value());
-  EXPECT_FALSE(cache.Lookup({"b"}, 1, 1).has_value());
-  EXPECT_TRUE(cache.Lookup({"c"}, 1, 1).has_value());
+  cache.Insert({"a"}, 1, 1, 1, {});
+  cache.Insert({"b"}, 1, 1, 1, {});
+  ASSERT_TRUE(cache.Lookup({"a"}, 1, 1, 1).has_value());  // touch a
+  cache.Insert({"c"}, 1, 1, 1, {});                       // evicts b
+  EXPECT_TRUE(cache.Lookup({"a"}, 1, 1, 1).has_value());
+  EXPECT_FALSE(cache.Lookup({"b"}, 1, 1, 1).has_value());
+  EXPECT_TRUE(cache.Lookup({"c"}, 1, 1, 1).has_value());
   EXPECT_LE(cache.size(), 2u);
 }
 
-TEST(ResultCache, InvalidateDropsEverything) {
+TEST(ResultCache, GenerationMismatchIsAMiss) {
   ResultCache cache(8);
-  cache.Insert({"a"}, 1, 1, {});
-  ASSERT_TRUE(cache.Lookup({"a"}, 1, 1).has_value());
-  cache.Invalidate();
-  EXPECT_FALSE(cache.Lookup({"a"}, 1, 1).has_value());
+  cache.Insert({"a"}, 1, 1, /*generation=*/7, {});
+  ASSERT_TRUE(cache.Lookup({"a"}, 1, 1, 7).has_value());
+  // A new snapshot generation makes the entry stale (and evicts it).
+  EXPECT_FALSE(cache.Lookup({"a"}, 1, 1, 8).has_value());
+  EXPECT_EQ(cache.size(), 0u);
   // Re-inserting under the new generation works.
-  cache.Insert({"a"}, 1, 1, {});
-  EXPECT_TRUE(cache.Lookup({"a"}, 1, 1).has_value());
+  cache.Insert({"a"}, 1, 1, 8, {});
+  EXPECT_TRUE(cache.Lookup({"a"}, 1, 1, 8).has_value());
 }
 
-// The serving-path hazard the generation counter exists for: after an
-// incremental index update changes a fragment, a cached top-k is stale —
-// still served until OnIndexChanged, dropped afterwards.
-TEST(ResultCache, InvalidationAfterIndexUpdate) {
+// The serving-path hazard the generation keying exists for: after an
+// incremental index update republishes the snapshot, cached entries miss
+// automatically — no manual invalidation call anywhere.
+TEST(ResultCache, AutomaticInvalidationAfterIndexUpdate) {
   webapp::WebAppInfo app = dash::testing::MakeSearchApp();
-  UpdatableIndex updatable(dash::testing::MakeFoodDb(), app.query);
-  DashEngine engine = DashEngine::FromParts(app, updatable.CopyBuild());
-  CachingEngine caching(engine, 16);
+  UpdatableIndex updatable(dash::testing::MakeFoodDb(), app);
+  CachingEngine caching(updatable.publisher(), 16);
 
   auto before = caching.Search({"burger"}, 3, 0);
   ASSERT_FALSE(before.empty());
   double stale_top_score = before[0].score;
+  ASSERT_TRUE(caching.Search({"burger"}, 3, 0).size() == before.size());
+  EXPECT_EQ(caching.cache().stats().hits, 1u);  // same generation: a hit
 
   // A new glowing burger review for Bond's Cafe changes the (American, 9)
-  // fragment's statistics and the global df of "burger".
+  // fragment's statistics and the global df of "burger". The updater
+  // publishes a new snapshot, so the cached entry is stale immediately.
   updatable.Insert("comment",
                    {db::Value(207), db::Value(7), db::Value(109),
                     db::Value("burger burger burger"), db::Value("07/11")});
-  engine = DashEngine::FromParts(app, updatable.CopyBuild());
 
-  // Without the invalidation hook the cache still answers from the old
-  // index: a hit, byte-for-byte the pre-update results.
-  auto stale = caching.Search({"burger"}, 3, 0);
-  EXPECT_EQ(caching.cache().stats().hits, 1u);
-  ASSERT_EQ(stale.size(), before.size());
-  EXPECT_DOUBLE_EQ(stale[0].score, stale_top_score);
-
-  // After OnIndexChanged the same query misses and recomputes against the
-  // updated index, matching an uncached search exactly.
-  caching.OnIndexChanged();
   auto fresh = caching.Search({"burger"}, 3, 0);
   EXPECT_EQ(caching.cache().stats().misses, 2u);
-  auto expected = engine.Search({"burger"}, 3, 0);
+  auto expected = updatable.snapshot()->Search({"burger"}, 3, 0);
   ASSERT_EQ(fresh.size(), expected.size());
   for (std::size_t i = 0; i < fresh.size(); ++i) {
     EXPECT_EQ(fresh[i].url, expected[i].url);
     EXPECT_DOUBLE_EQ(fresh[i].score, expected[i].score);
   }
-  // And the update genuinely moved the needle (the stale hit mattered).
+  // And the update genuinely moved the needle (a stale hit would have
+  // answered wrongly).
   EXPECT_NE(fresh[0].score, stale_top_score);
 }
 
 TEST(ResultCache, ZeroCapacityNeverStores) {
   ResultCache cache(0);
-  cache.Insert({"a"}, 1, 1, {});
-  EXPECT_FALSE(cache.Lookup({"a"}, 1, 1).has_value());
+  cache.Insert({"a"}, 1, 1, 1, {});
+  EXPECT_FALSE(cache.Lookup({"a"}, 1, 1, 1).has_value());
   EXPECT_EQ(cache.size(), 0u);
 }
 

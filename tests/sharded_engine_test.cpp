@@ -41,15 +41,24 @@ TEST(ShardedEngine, PartitioningPreservesFragmentsAndGroups) {
   EXPECT_EQ(sharded.fragment_count(), total);
 
   // Group atomicity: each customer's fragments live in exactly one shard.
+  const FragmentCatalog& catalog = sharded.snapshot()->catalog();
   std::map<std::string, std::size_t> group_shard;
-  for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
-    const FragmentCatalog& catalog = sharded.shard(s).catalog();
-    for (std::size_t f = 0; f < catalog.size(); ++f) {
-      std::string eq = catalog.id(static_cast<FragmentHandle>(f))[0].ToString();
-      auto [it, inserted] = group_shard.emplace(eq, s);
-      EXPECT_EQ(it->second, s) << "customer " << eq << " split across shards";
-    }
+  std::size_t assigned = 0;
+  for (std::size_t f = 0; f < catalog.size(); ++f) {
+    std::size_t s = sharded.shard_of(static_cast<FragmentHandle>(f));
+    ASSERT_LT(s, sharded.shard_count());
+    ++assigned;
+    std::string eq = catalog.id(static_cast<FragmentHandle>(f))[0].ToString();
+    auto [it, inserted] = group_shard.emplace(eq, s);
+    EXPECT_EQ(it->second, s) << "customer " << eq << " split across shards";
   }
+  EXPECT_EQ(assigned, total);
+  // Per-shard counts are consistent with the assignment.
+  std::size_t counted = 0;
+  for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
+    counted += sharded.shard_fragment_count(s);
+  }
+  EXPECT_EQ(counted, total);
   // With 20 customers and 4 shards, the hash should actually spread them.
   std::set<std::size_t> used_shards;
   for (const auto& [eq, s] : group_shard) used_shards.insert(s);

@@ -48,6 +48,20 @@ TEST(ThreadPool, ParallelForWorksWithSingleWorkerAndEmptyRange) {
   EXPECT_EQ(total.load(), 7);
 }
 
+// Every outer index itself runs a ParallelFor on the same pool, so all
+// workers are simultaneously inside nested calls with their helpers
+// queued behind each other. The wait loop must keep draining the queue
+// (not block in get()) or this saturation pattern deadlocks — it is
+// exactly what a parallel fuzz sweep over oracle checks produces.
+TEST(ThreadPool, SaturatedNestedParallelForDoesNotDeadlock) {
+  util::ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(16, [&](std::size_t) {
+    pool.ParallelFor(8, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 16 * 8);
+}
+
 TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
   util::ThreadPool pool(2);
   auto future = pool.Submit(

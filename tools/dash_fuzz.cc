@@ -7,8 +7,15 @@
 // replayable command line.
 //
 //   dash_fuzz --runs 1000            # sweep seeds 1..1000
+//   dash_fuzz --runs 1000 --threads 8  # same sweep on a worker pool
 //   dash_fuzz --seed 4242            # replay one seed verbosely
 //   dash_fuzz --runs 200 --queries 8 --no-shrink
+//
+// `--threads N` only parallelizes the sweep across seeds — each seed's
+// instance, workload, shrink, and replay stay bit-for-bit deterministic,
+// and a parallel sweep reports the same (lowest) failing seed a
+// sequential one would.
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -16,6 +23,7 @@
 
 #include "testing/instance_gen.h"
 #include "testing/oracles.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -30,6 +38,7 @@ struct Args {
   std::uint64_t runs = 200;
   std::uint64_t start = 1;
   std::int64_t seed = -1;  // >= 0: replay exactly this seed
+  std::uint64_t threads = 1;
   bool shrink = true;
   bool verbose = false;
   OracleOptions oracle;
@@ -41,6 +50,8 @@ struct Args {
       << "  --runs N       seeds to sweep (default 200)\n"
       << "  --start N      first seed of the sweep (default 1)\n"
       << "  --seed N       replay a single seed and dump the instance\n"
+      << "  --threads N    sweep seeds on an N-worker pool (default 1);\n"
+      << "                 reports the same lowest failing seed as N=1\n"
       << "  --queries N    random queries per instance (default "
       << OracleOptions{}.queries_per_instance << ")\n"
       << "  --updates N    insert/delete mutations per instance (default "
@@ -64,6 +75,9 @@ Args ParseArgs(int argc, char** argv) {
       args.start = next_value(i);
     } else if (arg == "--seed") {
       args.seed = static_cast<std::int64_t>(next_value(i));
+    } else if (arg == "--threads") {
+      args.threads = next_value(i);
+      if (args.threads == 0) Usage(argv[0]);
     } else if (arg == "--queries") {
       args.oracle.queries_per_instance = static_cast<int>(next_value(i));
     } else if (arg == "--updates") {
@@ -136,6 +150,46 @@ int main(int argc, char** argv) {
         CheckInstance(inst, WorkloadSeed(inst.seed), args.oracle);
     if (!report.ok()) return ReportFailure(inst, args);
     std::cout << "seed " << args.seed << ": all oracles agree\n";
+    return 0;
+  }
+
+  if (args.threads > 1) {
+    // Parallel sweep: seeds fan out over the pool; the lowest failing
+    // seed wins, so the verdict matches a sequential sweep. Seeds above
+    // an already-found failure are skipped (the sequential sweep would
+    // never have reached them).
+    constexpr std::uint64_t kNone = ~std::uint64_t{0};
+    std::atomic<std::uint64_t> first_failure{kNone};
+    std::atomic<std::uint64_t> checked{0};
+    dash::util::ThreadPool pool(args.threads);
+    pool.ParallelFor(args.runs, [&](std::size_t i) {
+      std::uint64_t seed = args.start + i;
+      if (seed >= first_failure.load(std::memory_order_relaxed)) return;
+      RandomInstance inst = GenerateInstance(seed);
+      if (args.verbose) std::cout << inst.summary + "\n";
+      OracleReport report =
+          CheckInstance(inst, WorkloadSeed(seed), args.oracle);
+      if (!report.ok()) {
+        std::uint64_t seen = first_failure.load(std::memory_order_relaxed);
+        while (seed < seen && !first_failure.compare_exchange_weak(
+                                  seen, seed, std::memory_order_relaxed)) {
+        }
+        return;
+      }
+      std::uint64_t done = checked.fetch_add(1) + 1;
+      if (done % 100 == 0) {
+        std::cout << std::to_string(done) + "/" + std::to_string(args.runs) +
+                         " seeds checked\n";
+      }
+    });
+    std::uint64_t failing = first_failure.load();
+    if (failing != kNone) {
+      // Re-derive the culprit on this thread; shrink and the replay line
+      // are exactly what a sequential sweep would have printed.
+      return ReportFailure(GenerateInstance(failing), args);
+    }
+    std::cout << "OK: " << checked.load()
+              << " instances, zero oracle mismatches\n";
     return 0;
   }
 

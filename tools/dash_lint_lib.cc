@@ -48,6 +48,18 @@ bool ContainsCall(const std::string& s, const std::string& token) {
   return false;
 }
 
+// Rank of a top-level module directory in the include-layer order
+// (util < db < sql|tpch < webapp < mapreduce < core < baseline < testing
+// < tools); -1 when the directory is not a layer.
+int LayerRank(const std::string& dir) {
+  static const std::map<std::string, int> kRank = {
+      {"util", 0},   {"db", 1},        {"sql", 2},  {"tpch", 2},
+      {"webapp", 3}, {"mapreduce", 4}, {"core", 5}, {"baseline", 6},
+      {"testing", 7}, {"tools", 8}};
+  auto it = kRank.find(dir);
+  return it == kRank.end() ? -1 : it->second;
+}
+
 // The scanner's view of one source file: comment/string/preprocessor-free
 // code lines (positions preserved), the raw lines, include targets, and
 // per-line allow() sets.
@@ -241,6 +253,7 @@ class Linter {
     if (RuleApplies("unordered-iter")) CheckUnorderedIteration();
     if (RuleApplies("global-state")) CheckGlobalState();
     if (RuleApplies("iostream-hotpath")) CheckIostream();
+    if (RuleApplies("layer-cycle")) CheckLayerCycle();
     report_.files_scanned = 1;
     return std::move(report_);
   }
@@ -263,7 +276,20 @@ class Linter {
     if (rule == "iostream-hotpath") {
       return StartsWith("src/core/") || StartsWith("src/db/");
     }
+    if (rule == "layer-cycle") return true;
     return false;
+  }
+
+  // The layer directory this file belongs to: the segment after "src/",
+  // or "tools" for the linter/fuzzer sources. Empty when the path is not
+  // inside a layer (fixture paths in tests, say).
+  std::string FileLayerDir() const {
+    if (StartsWith("tools/")) return "tools";
+    if (!StartsWith("src/")) return "";
+    std::size_t begin = 4;  // past "src/"
+    std::size_t slash = path_.find('/', begin);
+    if (slash == std::string::npos) return "";
+    return path_.substr(begin, slash - begin);
   }
 
   void Emit(int line, const std::string& rule, std::string message) {
@@ -545,6 +571,29 @@ class Linter {
     }
   }
 
+  void CheckLayerCycle() {
+    const std::string dir = FileLayerDir();
+    const int rank = LayerRank(dir);
+    if (rank < 0) return;
+    for (const auto& [line, target] : view_.includes) {
+      // Only quoted project includes participate; system headers and
+      // same-directory siblings (no path separator) are out of scope.
+      if (target.size() < 2 || target.front() != '"') continue;
+      std::string inner = target.substr(1, target.size() - 2);
+      std::size_t slash = inner.find('/');
+      if (slash == std::string::npos) continue;
+      std::string head = inner.substr(0, slash);
+      int target_rank = LayerRank(head);
+      if (target_rank < 0) continue;  // not a layer directory
+      if (head == dir || target_rank < rank) continue;
+      Emit(line, "layer-cycle",
+           "include \"" + inner + "\" reaches layer '" + head +
+               "' from layer '" + dir +
+               "'; the include order is util < db < sql|tpch < webapp < "
+               "mapreduce < core < baseline < testing < tools");
+    }
+  }
+
   std::string path_;
   FileView view_;
   Report report_;
@@ -606,6 +655,11 @@ std::string RuleCatalog() {
       "                  DASH_GUARDED_BY a mutex, atomic, or const.\n"
       "iostream-hotpath  src/core and src/db must not use <iostream>/\n"
       "                  std::cout/std::cerr; use util/logging.\n"
+      "layer-cycle       quoted includes must respect the module layering\n"
+      "                  util < db < sql|tpch < webapp < mapreduce < core <\n"
+      "                  baseline < testing < tools: a layer may include\n"
+      "                  itself or any strictly lower layer, never upward\n"
+      "                  (e.g. nothing under src/db/ may include core/...).\n"
       "\n"
       "Suppress a finding with `// dash-lint: allow(rule-id)` on the same\n"
       "line or the line above; suppressions are listed in the summary.\n";

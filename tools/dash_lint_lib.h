@@ -31,6 +31,11 @@
 //                    src/db — use util/logging (leveled, sink-fanout,
 //                    and quiet under test) instead of interleaving raw
 //                    stream writes on hot paths.
+//   layer-cycle      quoted includes must follow the one-way module
+//                    layering util < db < sql|tpch < webapp < mapreduce
+//                    < core < baseline < testing < tools; an upward
+//                    include (src/db/ pulling core/..., say) is the seed
+//                    of a dependency cycle and is rejected outright.
 //
 // Escape hatch: a `// dash-lint: allow(rule-id)` comment on the offending
 // line or the line directly above suppresses that rule there; suppressions
